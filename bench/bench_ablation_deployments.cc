@@ -1,0 +1,120 @@
+// Ablation: deployment models (paper conclusions, point 6).
+//
+//   1. NoFTL region with IPA        — the paper's primary architecture;
+//   2. conventional SSD + write_delta extension — IPA behind a block-device
+//      interface with per-command host-interface latency;
+//   3. conventional SSD, unmodified — the traditional baseline.
+//
+// Expected shape: (2) keeps most of (1)'s erase/GC savings but pays
+// interface latency ("at the cost of lower performance compared to IPA
+// under NoFTL"); (3) shows neither benefit.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ftl/blackbox_ssd.h"
+#include "workload/tpcb.h"
+
+namespace ipa::bench {
+namespace {
+
+struct Arm {
+  double erases_per_hw = 0;
+  double ipa_share = 0;
+  double read_lat_ms = 0;
+  double tps = 0;
+};
+
+Result<Arm> RunOnSsd(bool extension, uint64_t txns) {
+  workload::TpcbConfig wc;
+  wc.accounts_per_branch = 20000;
+  workload::Tpcb sizing(nullptr, wc, workload::SingleTablespace(0));
+  uint64_t db_pages = sizing.EstimatedPages(4096);
+
+  storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+  ftl::BlackboxSsdConfig sc;
+  sc.logical_pages = db_pages * 2;
+  sc.write_delta_extension = extension;
+  ftl::BlackboxSsd ssd(sc);
+  if (extension) {
+    IPA_RETURN_NOT_OK(ssd.SetSchemeHint(4096 - scheme.AreaBytes()));
+  }
+
+  engine::EngineConfig ec;
+  ec.buffer_pages = static_cast<uint32_t>(db_pages / 4);
+  ec.log_capacity_bytes = 24u << 20;
+  engine::Database db(nullptr, ec, &ssd.clock());
+  IPA_ASSIGN_OR_RETURN(
+      engine::TablespaceId ts,
+      db.CreateTablespaceOn("ssd", &ssd, extension ? scheme : storage::Scheme{}));
+  workload::Tpcb tpcb(&db, wc, workload::SingleTablespace(ts));
+  IPA_RETURN_NOT_OK(tpcb.Load());
+  IPA_RETURN_NOT_OK(db.Checkpoint());
+  ssd.ResetStats();
+  db.ResetTxnStats();
+
+  SimTime t0 = ssd.clock().Now();
+  for (uint64_t i = 0; i < txns; i++) {
+    auto r = tpcb.RunTransaction();
+    IPA_RETURN_NOT_OK(r.status());
+    ssd.clock().Advance(DefaultCpuUs(Wl::kTpcb));
+  }
+  SimTime span = ssd.clock().Now() - t0;
+
+  Arm arm;
+  arm.erases_per_hw = ssd.stats().ErasesPerHostWrite();
+  arm.ipa_share = ssd.stats().IpaSharePercent();
+  arm.read_lat_ms = ssd.stats().read_latency.MeanMillis();
+  arm.tps = span == 0 ? 0
+                      : static_cast<double>(db.txn_stats().commits) /
+                            (static_cast<double>(span) / 1e6);
+  return arm;
+}
+
+int Run() {
+  std::printf("Ablation: IPA deployment models (TPC-B, 25%% buffer).\n\n");
+  uint64_t txns = DefaultTxns(Wl::kTpcb) / 2;
+
+  RunConfig noftl_rc;
+  noftl_rc.workload = Wl::kTpcb;
+  noftl_rc.scheme = {.n = 2, .m = 4, .v = 12};
+  noftl_rc.buffer_fraction = 0.25;
+  noftl_rc.scale = 20000.0 / 60000.0;  // match the SSD arms' DB size
+  noftl_rc.txns = txns;
+  auto noftl = RunWorkload(noftl_rc);
+  auto ssd_ipa = RunOnSsd(true, txns);
+  auto ssd_plain = RunOnSsd(false, txns);
+  if (!noftl.ok() || !ssd_ipa.ok() || !ssd_plain.ok()) {
+    std::fprintf(stderr, "runs failed: %s / %s / %s\n",
+                 noftl.status().ToString().c_str(),
+                 ssd_ipa.status().ToString().c_str(),
+                 ssd_plain.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter t({"Deployment", "IPA share [%]", "erases/host-write",
+                  "read latency [ms]", "throughput [tps]"});
+  t.AddRow({"NoFTL region + IPA [2x4]", Fmt(noftl.value().ipa_share_pct, 0),
+            Fmt(noftl.value().erases_per_host_write, 4),
+            Fmt(noftl.value().read_latency_ms, 3),
+            Fmt(noftl.value().throughput_tps, 0)});
+  t.AddRow({"SSD + write_delta ext. [2x4]", Fmt(ssd_ipa.value().ipa_share, 0),
+            Fmt(ssd_ipa.value().erases_per_hw, 4),
+            Fmt(ssd_ipa.value().read_lat_ms, 3),
+            Fmt(ssd_ipa.value().tps, 0)});
+  t.AddRow({"conventional SSD [0x0]", Fmt(ssd_plain.value().ipa_share, 0),
+            Fmt(ssd_plain.value().erases_per_hw, 4),
+            Fmt(ssd_plain.value().read_lat_ms, 3),
+            Fmt(ssd_plain.value().tps, 0)});
+  t.Print();
+  std::printf(
+      "\nExpected shape: the SSD extension preserves most of IPA's erase\n"
+      "savings over the plain SSD, but NoFTL is faster (no host-interface\n"
+      "latency, DBMS-controlled placement) — the paper's conclusion 6.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipa::bench
+
+int main() { return ipa::bench::Run(); }

@@ -1,0 +1,47 @@
+// Figure 6: fraction of update I/Os performed as in-place appends in
+// LinkBench, across buffer sizes 20% - 90% for N in 1..3 and M in {100,125}.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace ipa::bench {
+namespace {
+
+int Run() {
+  std::printf(
+      "Figure 6: fraction of update IOs performed as in-place appends in\n"
+      "LinkBench (8KB pages) [%%].\n\n");
+
+  const std::pair<uint8_t, uint8_t> schemes[] = {
+      {1, 100}, {1, 125}, {2, 100}, {2, 125}, {3, 100}, {3, 125}};
+  const double buffers[] = {0.20, 0.50, 0.75, 0.90};
+
+  std::vector<std::string> header{"Buffer"};
+  for (auto [n, m] : schemes) {
+    header.push_back(std::to_string(n) + "x" + std::to_string(m));
+  }
+  TablePrinter t(header);
+  for (double buf : buffers) {
+    std::vector<std::string> row{Fmt(100 * buf, 0) + "%"};
+    for (auto [n, m] : schemes) {
+      RunConfig rc;
+      rc.workload = Wl::kLinkbench;
+      rc.page_size = 8192;
+      rc.buffer_fraction = buf;
+      rc.scheme = {.n = n, .m = m, .v = 14};
+      rc.txns = DefaultTxns(Wl::kLinkbench);
+      auto r = RunWorkload(rc);
+      row.push_back(r.ok() ? Fmt(r.value().ipa_share_pct, 1) : "err");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\nPaper: 28%% - 48%%, increasing with N and M.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipa::bench
+
+int main() { return ipa::bench::Run(); }

@@ -1,0 +1,14 @@
+// Figure 7: CDF of update-sizes in TPC-B (net data) per buffer size.
+// The paper: 50-90% of update I/Os change only 4 bytes of net data.
+
+#include <cstdio>
+
+#include "bench/cdf_common.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf("Figure 7: CDF of update-sizes in TPC-B in net data [%%].\n\n");
+  return PrintUpdateSizeCdf(Wl::kTpcb, {0.10, 0.20, 0.50, 0.75, 0.90},
+                            /*eager=*/true, /*gross=*/false, 4096,
+                            {.n = 2, .m = 4, .v = 12});
+}

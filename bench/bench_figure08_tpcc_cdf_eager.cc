@@ -1,0 +1,16 @@
+// Figure 8: CDF of update-sizes in TPC-C (net data), default eager eviction.
+// The paper: ~70% of update I/Os change < 6 bytes of net data.
+
+#include <cstdio>
+
+#include "bench/cdf_common.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf(
+      "Figure 8: CDF of update-sizes in TPC-C in net data "
+      "(eager eviction) [%%].\n\n");
+  return PrintUpdateSizeCdf(Wl::kTpcc, {0.10, 0.20, 0.50, 0.75, 0.90},
+                            /*eager=*/true, /*gross=*/false, 4096,
+                            {.n = 2, .m = 3, .v = 12});
+}

@@ -1,0 +1,16 @@
+// Figure 9: CDF of update-sizes in TPC-C (net data), non-eager eviction.
+// Update accumulation in large buffers shifts the distribution right.
+
+#include <cstdio>
+
+#include "bench/cdf_common.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf(
+      "Figure 9: CDF of update-sizes in TPC-C in net data "
+      "(non-eager eviction) [%%].\n\n");
+  return PrintUpdateSizeCdf(Wl::kTpcc, {0.10, 0.20, 0.50, 0.75, 0.90},
+                            /*eager=*/false, /*gross=*/false, 4096,
+                            {.n = 2, .m = 3, .v = 12});
+}

@@ -1,0 +1,16 @@
+// Figure 10: CDF of update-sizes in LinkBench (gross data: header + body on
+// 8KB pages). The paper: ~47-76% of updates change < 125 bytes gross.
+
+#include <cstdio>
+
+#include "bench/cdf_common.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf(
+      "Figure 10: CDF of update-sizes in LinkBench (gross: header and body,\n"
+      "8KB pages) [%%].\n\n");
+  return PrintUpdateSizeCdf(Wl::kLinkbench, {0.20, 0.50, 0.75, 0.90},
+                            /*eager=*/true, /*gross=*/true, 8192,
+                            {.n = 2, .m = 100, .v = 14});
+}

@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the core operations on the IPA
+// hot paths: page diffing, delta-record encode/apply, slotted-page ops,
+// ECC, emulated flash commands and B+tree point operations.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "core/write_policy.h"
+#include "engine/btree.h"
+#include "flash/ecc.h"
+#include "flash/flash_array.h"
+#include "storage/delta_record.h"
+#include "storage/slotted_page.h"
+
+namespace ipa {
+namespace {
+
+constexpr uint32_t kPageSize = 4096;
+
+std::vector<uint8_t> PreparedPage(storage::Scheme s) {
+  std::vector<uint8_t> buf(kPageSize);
+  storage::SlottedPage page(buf.data(), kPageSize);
+  page.Initialize(1, 1, s);
+  std::vector<uint8_t> tuple(100, 0x20);
+  while (page.HasRoomFor(100)) (void)page.Insert(tuple);
+  return buf;
+}
+
+void BM_PageDiff_SmallChange(benchmark::State& state) {
+  auto base = PreparedPage({.n = 2, .m = 3, .v = 12});
+  auto cur = base;
+  storage::SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x42;
+  (void)page.UpdateInPlace(3, 8, {&v, 1});
+  for (auto _ : state) {
+    auto diff = storage::DiffPages(base.data(), cur.data(), kPageSize, 16, 16);
+    benchmark::DoNotOptimize(diff);
+  }
+}
+BENCHMARK(BM_PageDiff_SmallChange);
+
+void BM_PlanEviction_Append(benchmark::State& state) {
+  auto base = PreparedPage({.n = 2, .m = 3, .v = 12});
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cur = base;
+    storage::SlottedPage page(cur.data(), kPageSize);
+    uint8_t v = 0x42;
+    (void)page.UpdateInPlace(3, 8, {&v, 1});
+    page.set_page_lsn(7);
+    state.ResumeTiming();
+    auto d = core::PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_PlanEviction_Append);
+
+void BM_ApplyDeltaRecords(benchmark::State& state) {
+  auto base = PreparedPage({.n = 3, .m = 10, .v = 12});
+  auto cur = base;
+  storage::SlottedPage page(cur.data(), kPageSize);
+  uint8_t patch[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  (void)page.UpdateInPlace(0, 0, patch);
+  auto diff = storage::DiffPages(base.data(), cur.data(), kPageSize, 64, 64);
+  (void)storage::EncodeDeltaRecords(cur.data(), kPageSize, diff);
+  for (auto _ : state) {
+    auto replay = cur;
+    uint32_t n = storage::ApplyDeltaRecords(replay.data(), kPageSize);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ApplyDeltaRecords);
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  std::vector<uint8_t> buf(kPageSize);
+  std::vector<uint8_t> tuple(64, 0x11);
+  for (auto _ : state) {
+    storage::SlottedPage page(buf.data(), kPageSize);
+    page.Initialize(1, 1, {});
+    for (int i = 0; i < 16; i++) {
+      benchmark::DoNotOptimize(page.Insert(tuple));
+    }
+  }
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void BM_EccEncodePage(benchmark::State& state) {
+  std::vector<uint8_t> page(kPageSize);
+  Rng rng(1);
+  for (auto& b : page) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    auto ecc = flash::EccEncodeRegion(page.data(), page.size());
+    benchmark::DoNotOptimize(ecc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_EccEncodePage);
+
+void BM_FlashProgramRead(benchmark::State& state) {
+  flash::Geometry g;
+  g.page_size = kPageSize;
+  g.blocks_per_chip = 64;
+  flash::FlashArray dev(g, flash::SlcTiming());
+  std::vector<uint8_t> page(kPageSize, 0x00);
+  std::vector<uint8_t> out(kPageSize);
+  uint64_t i = 0;
+  uint64_t npages = g.total_pages();
+  for (auto _ : state) {
+    flash::Ppn ppn = i++ % npages;
+    if (dev.page_state(ppn).program_count > 0) {
+      (void)dev.EraseBlock(flash::BlockOf(g, ppn));
+    }
+    (void)dev.ProgramPage(ppn, page.data());
+    (void)dev.ReadPage(ppn, out.data());
+  }
+}
+BENCHMARK(BM_FlashProgramRead);
+
+void BM_WriteDelta(benchmark::State& state) {
+  flash::Geometry g;
+  g.page_size = kPageSize;
+  g.blocks_per_chip = 64;
+  g.max_programs_per_page = 255;
+  flash::FlashArray dev(g, flash::SlcTiming());
+  std::vector<uint8_t> page(kPageSize, 0x00);
+  std::memset(page.data() + 2048, 0xFF, 2048);
+  (void)dev.ProgramPage(0, page.data());
+  uint8_t delta[46];
+  std::memset(delta, 0xA5, sizeof(delta));
+  uint32_t off = 2048;
+  for (auto _ : state) {
+    if (off + sizeof(delta) > kPageSize) {
+      (void)dev.EraseBlock(0);
+      (void)dev.ProgramPage(0, page.data());
+      off = 2048;
+    }
+    benchmark::DoNotOptimize(dev.ProgramDelta(0, off, delta, sizeof(delta)));
+    off += sizeof(delta);
+  }
+}
+BENCHMARK(BM_WriteDelta);
+
+void BM_BtreeLookup(benchmark::State& state) {
+  flash::Geometry g;
+  g.page_size = kPageSize;
+  g.blocks_per_chip = 256;
+  flash::FlashArray dev(g, flash::SlcTiming());
+  ftl::NoFtl noftl(&dev);
+  ftl::RegionConfig rc;
+  rc.logical_pages = 4096;
+  auto region = noftl.CreateRegion(rc);
+  engine::EngineConfig ec;
+  ec.buffer_pages = 1024;
+  engine::Database db(&noftl, ec);
+  auto ts = db.CreateTablespace("t", region.value(), {});
+  auto tree = engine::Btree::Create(&db, "idx", ts.value());
+  for (uint64_t k = 0; k < 20000; k++) (void)tree.value().Insert(k, k);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.value().Lookup(k++ % 20000));
+  }
+}
+BENCHMARK(BM_BtreeLookup);
+
+}  // namespace
+}  // namespace ipa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Table 6: TPC-B on the OpenSSD profile — traditional approach (no IPA,
+// [0x0]) vs the [2x4] scheme in pSLC and odd-MLC modes.
+//
+// The OpenSSD Jasmine profile (Appendix D): MLC flash, effective host-level
+// parallelism of one request (no NCQ) and a small DB buffer, which makes the
+// system I/O bound and the effect of IPA most pronounced.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf(
+      "Table 6: TPC-B on OpenSSD: no IPA [0x0] vs [2x4] in pSLC and\n"
+      "odd-MLC modes.\n\n");
+  return ipa::bench::PrintOpenSsdTable(ipa::bench::Wl::kTpcb,
+                                       {.n = 2, .m = 4, .v = 12});
+}

@@ -1,0 +1,19 @@
+// Table 7: TPC-B on the 16-chip SLC flash emulator — [0x0] vs [2x4] and
+// [3x4] schemes at buffer sizes 10% and 20%, including I/O response times.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf(
+      "Table 7: TPC-B on the flash emulator: no IPA [0x0] vs [2x4] and\n"
+      "[3x4] schemes (buffers 10%% and 20%%, eager eviction).\n\n");
+  ipa::storage::Scheme s24{.n = 2, .m = 4, .v = 12};
+  ipa::storage::Scheme s34{.n = 3, .m = 4, .v = 12};
+  return PrintBufferSweepTable(
+      Wl::kTpcb,
+      {{0.10, {s24, s34}}, {0.20, {s24, s34}}},
+      /*eager=*/true);
+}

@@ -1,0 +1,14 @@
+// Table 8: TPC-C on the OpenSSD profile — traditional approach (no IPA,
+// [0x0]) vs the [2x3] scheme in pSLC and odd-MLC modes.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf(
+      "Table 8: TPC-C on OpenSSD: no IPA [0x0] vs [2x3] in pSLC and\n"
+      "odd-MLC modes.\n\n");
+  return ipa::bench::PrintOpenSsdTable(ipa::bench::Wl::kTpcc,
+                                       {.n = 2, .m = 3, .v = 12});
+}

@@ -1,0 +1,23 @@
+// Table 10: TPC-C with the non-eager eviction/log-reclamation policy —
+// [0x0] vs [2xM] schemes with M grown to absorb update accumulation
+// (Section 8.4: larger buffers accumulate more changes per page, so larger
+// M keeps a useful share of host writes on the append path).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ipa::bench;
+  std::printf(
+      "Table 10: TPC-C, no IPA [0x0] vs [2xM], buffers 10-90%%, non-eager\n"
+      "eviction (cleaner at 75%% dirty, log reclamation off).\n\n");
+  return PrintBufferSweepTable(
+      Wl::kTpcc,
+      {{0.10, {{.n = 2, .m = 10, .v = 12}}},
+       {0.20, {{.n = 2, .m = 10, .v = 12}}},
+       {0.50, {{.n = 2, .m = 30, .v = 12}}},
+       {0.75, {{.n = 2, .m = 40, .v = 12}}},
+       {0.90, {{.n = 2, .m = 40, .v = 12}}}},
+      /*eager=*/false);
+}

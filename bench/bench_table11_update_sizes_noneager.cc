@@ -1,0 +1,58 @@
+// Table 11: TPC-C update-size percentiles under the non-eager eviction
+// strategy across buffer sizes 10% - 90% (net data).
+//
+// Larger buffers accumulate more updates per page before eviction, shifting
+// the distribution right — the effect motivating Table 10's larger M values.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace ipa::bench {
+namespace {
+
+int Run() {
+  std::printf(
+      "Table 11: TPC-C update-sizes (net data, non-eager eviction).\n"
+      "Cells: percentile rank of update I/Os changing <= N bytes.\n\n");
+
+  const double buffers[] = {0.10, 0.20, 0.50, 0.75, 0.90};
+  std::vector<SampleDistribution> dists;
+  for (double buf : buffers) {
+    RunConfig rc;
+    rc.workload = Wl::kTpcc;
+    rc.buffer_fraction = buf;
+    rc.eager = false;
+    rc.record_update_sizes = true;
+    rc.txns = DefaultTxns(Wl::kTpcc);
+    auto r = RunWorkload(rc);
+    if (!r.ok()) {
+      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buf,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    SampleDistribution agg;
+    for (const auto& [table, trace] : r.value().traces) agg.Merge(trace.net);
+    dists.push_back(std::move(agg));
+  }
+
+  TablePrinter table({"Changed bytes", "Buffer 10%", "Buffer 20%",
+                      "Buffer 50%", "Buffer 75%", "Buffer 90%"});
+  for (uint32_t bytes : {3u, 6u, 10u, 30u, 40u}) {
+    std::vector<std::string> row{"<= " + std::to_string(bytes)};
+    for (const auto& d : dists) {
+      row.push_back(Fmt(d.PercentileOf(bytes), 0) + "-th");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: with Buffer 10%% ~80%% of updates change <= 6 bytes; with\n"
+      "Buffer 90%% only ~4%% do (accumulation shifts the CDF right).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipa::bench
+
+int main() { return ipa::bench::Run(); }

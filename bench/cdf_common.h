@@ -1,0 +1,56 @@
+// Shared CDF-figure printer for Figures 7-10: update-size cumulative
+// distributions per buffer size, rendered as aligned text series.
+
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace ipa::bench {
+
+/// Run `workload` at each buffer fraction, aggregate per-flush update sizes
+/// (net or gross) across tables, and print CDF rows at log-spaced byte
+/// thresholds.
+inline int PrintUpdateSizeCdf(Wl workload, const std::vector<double>& buffers,
+                              bool eager, bool gross, uint32_t page_size,
+                              storage::Scheme scheme) {
+  std::vector<SampleDistribution> dists;
+  for (double buf : buffers) {
+    RunConfig rc;
+    rc.workload = workload;
+    rc.page_size = page_size;
+    rc.buffer_fraction = buf;
+    rc.eager = eager;
+    rc.scheme = scheme;
+    rc.record_update_sizes = true;
+    rc.txns = DefaultTxns(workload);
+    auto r = RunWorkload(rc);
+    if (!r.ok()) {
+      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buf,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    SampleDistribution agg;
+    for (const auto& [table, trace] : r.value().traces) {
+      agg.Merge(gross ? trace.gross : trace.net);
+    }
+    dists.push_back(std::move(agg));
+  }
+
+  std::vector<std::string> header{"Changed bytes (log scale)"};
+  for (double buf : buffers) header.push_back("Buffer " + Fmt(100 * buf, 0) + "%");
+  TablePrinter t(header);
+  for (uint32_t bytes :
+       {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 192u,
+        256u, 384u, 512u}) {
+    std::vector<std::string> row{"<= " + std::to_string(bytes)};
+    for (const auto& d : dists) row.push_back(Fmt(d.PercentileOf(bytes), 1));
+    t.AddRow(row);
+  }
+  t.Print();
+  return 0;
+}
+
+}  // namespace ipa::bench

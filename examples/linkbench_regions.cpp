@@ -1,0 +1,84 @@
+// Selective IPA with NoFTL regions (Section 5): LinkBench with write-hot
+// tables (NODE/COUNT, dominated by small numeric updates) placed in an IPA
+// region and the LINK table plus indexes in a plain region.
+//
+//   $ ./build/examples/linkbench_regions
+
+#include <cstdio>
+
+#include "workload/linkbench.h"
+#include "workload/testbed.h"
+
+using namespace ipa;
+using namespace ipa::workload;
+
+int main() {
+  // Device large enough for two regions.
+  flash::Geometry geo = flash::EmulatorSlcGeometry(192);
+  geo.page_size = 8192;
+  geo.blocks_per_chip = geo.blocks_per_chip / 2;  // capacity_mb was for 4KB pages
+  flash::FlashArray device(geo, flash::SlcTiming());
+  ftl::NoFtl noftl(&device);
+
+  storage::Scheme hot_scheme{.n = 2, .m = 100, .v = 14};
+
+  ftl::RegionConfig hot;
+  hot.name = "rgIPA";
+  hot.logical_pages = 3000;
+  hot.ipa_mode = ftl::IpaMode::kSlc;
+  hot.delta_area_offset = 8192 - hot_scheme.AreaBytes();
+  auto hot_region = noftl.CreateRegion(hot);
+
+  ftl::RegionConfig cold;
+  cold.name = "rgPlain";
+  cold.logical_pages = 4000;
+  auto cold_region = noftl.CreateRegion(cold);
+  if (!hot_region.ok() || !cold_region.ok()) return 1;
+
+  engine::EngineConfig ec;
+  ec.page_size = 8192;
+  ec.buffer_pages = 700;
+  engine::Database db(&noftl, ec);
+  auto hot_ts = db.CreateTablespace("tsIPA", hot_region.value(), hot_scheme);
+  auto cold_ts = db.CreateTablespace("tsPlain", cold_region.value(), {});
+  if (!hot_ts.ok() || !cold_ts.ok()) return 1;
+
+  // Per-object placement: the selective-IPA map.
+  TablespaceMap ts_of = [&](const std::string& table) {
+    if (table == "NODE" || table == "COUNT") return hot_ts.value();
+    return cold_ts.value();
+  };
+
+  LinkbenchConfig wc;
+  wc.nodes = 8000;
+  Linkbench lb(&db, wc, ts_of);
+  if (!lb.Load().ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  (void)db.Checkpoint();
+  noftl.ResetStats(hot_region.value());
+  noftl.ResetStats(cold_region.value());
+
+  std::printf("running 6000 LinkBench operations...\n\n");
+  for (int i = 0; i < 6000; i++) {
+    if (!lb.RunTransaction().ok()) return 1;
+  }
+  (void)db.Checkpoint();
+
+  auto show = [&](const char* name, ftl::RegionId r) {
+    const auto& st = noftl.region_stats(r);
+    std::printf("%-8s  writes=%6llu  in-place appends=%6llu (%3.0f%%)  "
+                "gc erases=%4llu\n",
+                name, static_cast<unsigned long long>(st.HostWrites()),
+                static_cast<unsigned long long>(st.host_delta_writes),
+                st.IpaSharePercent(),
+                static_cast<unsigned long long>(st.gc_erases));
+  };
+  show("rgIPA", hot_region.value());
+  show("rgPlain", cold_region.value());
+  std::printf(
+      "\nOnly the objects that benefit pay the delta-area space overhead;\n"
+      "the rest of the database is untouched (paper contribution II).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: the whole IPA stack in ~100 lines.
+//
+// Builds an emulated SLC flash device, puts a NoFTL region with IPA on it,
+// creates a table with a [2x4] delta scheme, runs small transactional
+// updates, and shows how they reach flash as in-place appends instead of
+// out-of-place page writes.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "engine/database.h"
+#include "flash/flash_array.h"
+#include "ftl/noftl.h"
+
+using namespace ipa;
+
+int main() {
+  // 1. An emulated flash device: 4 channels x 4 SLC chips, 4KB pages.
+  flash::Geometry geo = flash::EmulatorSlcGeometry(/*capacity_mb=*/64);
+  flash::FlashArray device(geo, flash::SlcTiming());
+  std::printf("device: %s\n", geo.ToString().c_str());
+
+  // 2. A NoFTL region with IPA enabled. The [2x4] scheme reserves
+  //    N * (1 + 3M + 3V) = 2 * (1 + 12 + 36) = 98 bytes per 4KB page.
+  storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+  ftl::NoFtl noftl(&device);
+  ftl::RegionConfig region_cfg;
+  region_cfg.name = "rgIPA";
+  region_cfg.logical_pages = 4096;
+  region_cfg.ipa_mode = ftl::IpaMode::kSlc;
+  region_cfg.delta_area_offset = 4096 - scheme.AreaBytes();
+  auto region = noftl.CreateRegion(region_cfg);
+  if (!region.ok()) {
+    std::fprintf(stderr, "region: %s\n", region.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The engine on top: CREATE TABLESPACE tsIPA (REGION=rgIPA); CREATE
+  //    TABLE accounts (...) TABLESPACE tsIPA;  (Figure 3 of the paper.)
+  engine::EngineConfig ec;
+  ec.buffer_pages = 256;
+  engine::Database db(&noftl, ec);
+  auto ts = db.CreateTablespace("tsIPA", region.value(), scheme);
+  auto table = db.CreateTable("accounts", ts.value());
+
+  // 4. Insert a few account rows (id u64 | balance i32 | padding).
+  std::vector<engine::Rid> rids;
+  engine::TxnId load = db.Begin();
+  for (uint64_t id = 0; id < 64; id++) {
+    std::vector<uint8_t> row(100, 0);
+    EncodeU64(row.data(), id);
+    EncodeU32(row.data() + 8, 1000);
+    auto rid = db.Insert(load, table.value(), row);
+    if (!rid.ok()) return 1;
+    rids.push_back(rid.value());
+  }
+  (void)db.Commit(load);
+  (void)db.Checkpoint();  // settle pages onto flash
+
+  // 5. Small updates: each transaction changes one 4-byte balance. On
+  //    eviction these become write_delta appends to the same physical page.
+  for (int round = 0; round < 3; round++) {
+    engine::TxnId txn = db.Begin();
+    for (size_t i = 0; i < rids.size(); i += 8) {
+      auto row = db.Read(txn, rids[i], /*for_update=*/true);
+      int32_t bal = static_cast<int32_t>(DecodeU32(row.value().data() + 8));
+      uint8_t nb[4];
+      EncodeU32(nb, static_cast<uint32_t>(bal + 1 + round));
+      (void)db.Update(txn, rids[i], 8, nb);
+    }
+    (void)db.Commit(txn);
+    (void)db.Checkpoint();  // force the flush so we can watch the write path
+  }
+
+  // 6. What happened on flash?
+  const auto& rs = noftl.region_stats(region.value());
+  const auto& bs = db.buffer_pool().stats();
+  std::printf("\nhost page writes (out-of-place): %llu\n",
+              static_cast<unsigned long long>(rs.host_page_writes));
+  std::printf("host delta writes (in-place appends): %llu (%.0f%% of writes)\n",
+              static_cast<unsigned long long>(rs.host_delta_writes),
+              rs.IpaSharePercent());
+  std::printf("delta bytes written: %llu (vs %llu if each flush wrote 4KB)\n",
+              static_cast<unsigned long long>(rs.delta_bytes_written),
+              static_cast<unsigned long long>(rs.host_delta_writes * 4096));
+  std::printf("GC erases: %llu\n", static_cast<unsigned long long>(rs.gc_erases));
+  std::printf("buffer flushes: %llu ipa, %llu out-of-place, %llu clean-skips\n",
+              static_cast<unsigned long long>(bs.ipa_flushes),
+              static_cast<unsigned long long>(bs.oop_flushes),
+              static_cast<unsigned long long>(bs.clean_diff_skips));
+
+  // 7. Verify durability: drop the buffer, read back through flash.
+  db.buffer_pool().DropAllNoFlush();
+  engine::TxnId check = db.Begin();
+  auto row = db.Read(check, rids[0]);
+  std::printf("\naccount 0 balance after re-fetch from flash: %d (expect 1006)\n",
+              static_cast<int32_t>(DecodeU32(row.value().data() + 8)));
+  (void)db.Commit(check);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Recovery demo: IPA pages and ARIES restart recovery coexist (the paper's
+// Section 6.2 "Remaining DBMS functionality" walkthrough).
+//
+// A committed transaction and an in-flight (loser) transaction both have
+// dirty pages flushed to flash — some as in-place appends. The process then
+// "crashes" (buffer + unflushed log discarded) and restart recovery replays
+// history: committed work survives, the loser's changes are rolled back,
+// and the delta-records on flash replay correctly on fetch.
+//
+//   $ ./build/examples/recovery_demo
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "workload/testbed.h"
+
+using namespace ipa;
+using namespace ipa::workload;
+
+int main() {
+  TestbedConfig tc;
+  tc.db_pages = 512;
+  tc.scheme = {.n = 2, .m = 4, .v = 12};
+  tc.buffer_fraction = 0.5;
+  auto bed_or = MakeTestbed(tc);
+  if (!bed_or.ok()) return 1;
+  Testbed& bed = *bed_or.value();
+  engine::Database& db = *bed.db;
+
+  auto table = db.CreateTable("accounts", bed.ts);
+
+  // Committed setup: 20 accounts with balance 100.
+  engine::TxnId setup = db.Begin();
+  std::vector<engine::Rid> rids;
+  for (uint64_t id = 0; id < 20; id++) {
+    std::vector<uint8_t> row(80, 0);
+    EncodeU64(row.data(), id);
+    EncodeU32(row.data() + 8, 100);
+    auto rid = db.Insert(setup, table.value(), row);
+    if (!rid.ok()) return 1;
+    rids.push_back(rid.value());
+  }
+  (void)db.Commit(setup);
+  (void)db.Checkpoint();
+
+  // Committed small update -> flushed as an in-place append.
+  engine::TxnId good = db.Begin();
+  uint8_t v150[4];
+  EncodeU32(v150, 150);
+  (void)db.Update(good, rids[0], 8, v150);
+  (void)db.Commit(good);
+  (void)db.buffer_pool().FlushAll();
+
+  // Loser: updates account 1 but never commits; steal flushes its dirty
+  // page to flash (possibly as a delta) before the crash.
+  engine::TxnId loser = db.Begin();
+  uint8_t v999[4];
+  EncodeU32(v999, 999);
+  (void)db.Update(loser, rids[1], 8, v999);
+  (void)db.buffer_pool().FlushAll();
+
+  std::printf("before crash: IPA flushes=%llu, out-of-place=%llu\n",
+              static_cast<unsigned long long>(db.buffer_pool().stats().ipa_flushes),
+              static_cast<unsigned long long>(db.buffer_pool().stats().oop_flushes));
+
+  // CRASH. The flash device and the durable log prefix survive; buffer
+  // contents and unflushed log records do not.
+  db.SimulateCrash();
+  std::printf("crash!  running ARIES restart (analysis/redo/undo)...\n");
+  if (!db.Recover().ok()) {
+    std::fprintf(stderr, "recovery failed\n");
+    return 1;
+  }
+
+  engine::TxnId check = db.Begin();
+  auto a0 = db.Read(check, rids[0]);
+  auto a1 = db.Read(check, rids[1]);
+  (void)db.Commit(check);
+  uint32_t b0 = DecodeU32(a0.value().data() + 8);
+  uint32_t b1 = DecodeU32(a1.value().data() + 8);
+  std::printf("after recovery: account0=%u (expect 150, committed update kept)\n",
+              b0);
+  std::printf("                account1=%u (expect 100, loser rolled back)\n", b1);
+  return (b0 == 150 && b1 == 100) ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// CRC32 (Castagnoli polynomial, software table implementation).
+// Used for page-image checksums in tests and the WAL record integrity check.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipa {
+
+/// Compute CRC32-C over `data[0..len)`, chained from `seed` (0 to start).
+uint32_t Crc32c(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+}  // namespace ipa

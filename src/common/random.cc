@@ -1,0 +1,65 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace ipa {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  // Cap the harmonic-sum precomputation; for very large n the tail
+  // contribution is small and the distribution shape is preserved.
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+NuRand::NuRand(uint64_t seed) {
+  Rng rng(seed ^ 0xC0FFEEull);
+  c_255_ = static_cast<int64_t>(rng.Uniform(256));
+  c_1023_ = static_cast<int64_t>(rng.Uniform(1024));
+  c_8191_ = static_cast<int64_t>(rng.Uniform(8192));
+}
+
+int64_t NuRand::CFor(int64_t a) const {
+  switch (a) {
+    case 255: return c_255_;
+    case 1023: return c_1023_;
+    case 8191: return c_8191_;
+    default: return c_255_;
+  }
+}
+
+int64_t NuRand::Gen(Rng& rng, int64_t a, int64_t x, int64_t y) const {
+  int64_t r1 = rng.UniformRange(0, a);
+  int64_t r2 = rng.UniformRange(x, y);
+  return (((r1 | r2) + CFor(a)) % (y - x + 1)) + x;
+}
+
+uint32_t DiscreteCdf::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  for (const auto& [value, cum] : points_) {
+    if (u <= cum) return value;
+  }
+  return points_.empty() ? 0 : points_.back().first;
+}
+
+}  // namespace ipa

@@ -1,0 +1,105 @@
+// Deterministic random number generation and workload-skew distributions.
+//
+// All simulation randomness in the repository flows through Rng so that runs
+// are reproducible bit-for-bit given a seed. Zipfian and TPC-C NURand
+// generators implement the access skew used by the LinkBench and TPC-C
+// workloads respectively.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ipa {
+
+/// xorshift64* generator: fast, decent quality, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial: true with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Re-seed the generator.
+  void Seed(uint64_t seed) { state_ = seed ? seed : 0x9E3779B97F4A7C15ull; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (0 < theta < 1),
+/// computed with the Gray et al. method (same as YCSB). Used for LinkBench
+/// node/edge access skew.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Draw the next zipf-distributed item id in [0, n).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// TPC-C NURand(A, x, y) non-uniform generator (clause 2.1.6).
+/// C is fixed per run (we derive it from the seed at construction).
+class NuRand {
+ public:
+  explicit NuRand(uint64_t seed);
+
+  /// NURand(A, x, y) per the TPC-C specification.
+  int64_t Gen(Rng& rng, int64_t a, int64_t x, int64_t y) const;
+
+ private:
+  int64_t c_255_;
+  int64_t c_1023_;
+  int64_t c_8191_;
+  int64_t CFor(int64_t a) const;
+};
+
+/// Draws from a discrete CDF given as (value, cumulative_probability) pairs.
+/// Used for LinkBench payload-size distributions.
+class DiscreteCdf {
+ public:
+  /// `points` must be sorted by cumulative probability, ending at 1.0.
+  explicit DiscreteCdf(std::vector<std::pair<uint32_t, double>> points)
+      : points_(std::move(points)) {}
+
+  uint32_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<std::pair<uint32_t, double>> points_;
+};
+
+}  // namespace ipa

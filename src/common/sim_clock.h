@@ -1,0 +1,35 @@
+// Deterministic simulated clock.
+//
+// All device timing in the flash emulator is expressed against this clock:
+// an I/O computes its completion time from per-operation latency constants
+// and resource (chip/channel) availability, then advances the clock. Wall
+// time never enters the simulation, so results are reproducible.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ipa {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+/// A monotonically advancing simulated clock shared by one simulation run.
+class SimClock {
+ public:
+  SimTime Now() const { return now_; }
+
+  /// Advance to `t` if it is in the future (no-op otherwise).
+  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
+
+  /// Advance by a delta.
+  void Advance(SimTime delta) { now_ += delta; }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace ipa

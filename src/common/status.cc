@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace ipa {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfSpace: return "OutOfSpace";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ipa

@@ -1,0 +1,143 @@
+// Status / Result error-handling primitives used across the IPA codebase.
+//
+// Follows the RocksDB/Arrow idiom: fallible functions return ipa::Status (or
+// ipa::Result<T> when they produce a value). Exceptions are not used on I/O
+// paths.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ipa {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller violated an API precondition.
+  kNotFound,          ///< Lookup target does not exist.
+  kOutOfSpace,        ///< No free flash space / delta-area overflow.
+  kIoError,           ///< Device-level failure (uncorrectable ECC, ...).
+  kNotSupported,      ///< Operation not legal in this mode (e.g. delta on MSB page).
+  kCorruption,        ///< On-media invariant violated.
+  kBusy,              ///< Resource (lock, latch) unavailable.
+  kAborted,           ///< Transaction aborted (deadlock victim, user abort).
+  kInternal,          ///< Bug: internal invariant violated.
+};
+
+/// Lightweight status object: a code plus an optional message.
+/// `Status::OK()` carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(StatusCode::kOutOfSpace, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfSpace() const { return code_ == StatusCode::kOutOfSpace; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// Human-readable rendering, e.g. "IoError: uncorrectable ECC".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container. Access to `value()` on an error Result is a
+/// programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace ipa
+
+/// Propagate a non-OK Status from the current function.
+#define IPA_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ipa::Status _s = (expr);                   \
+    if (!_s.ok()) return _s;                     \
+  } while (0)
+
+/// Assign the value of a Result<T> expression or propagate its error.
+#define IPA_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto IPA_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!IPA_CONCAT_(_res_, __LINE__).ok())        \
+    return IPA_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(IPA_CONCAT_(_res_, __LINE__)).value()
+
+#define IPA_CONCAT_IMPL_(a, b) a##b
+#define IPA_CONCAT_(a, b) IPA_CONCAT_IMPL_(a, b)

@@ -1,0 +1,61 @@
+// The IPA advisor (Section 8.4): recommends an [NxM] scheme (and V) per
+// database object from a profile of its observed update sizes, weighted by
+// the DBA's optimization goal.
+//
+// The paper's advisor profiles the DB log at run time; ours consumes the
+// same information in the form of per-object update-size distributions that
+// the engine's trace recorder collects (the distributions behind Table 1 /
+// Figures 7-10).
+
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "flash/geometry.h"
+#include "storage/page_format.h"
+
+namespace ipa::core {
+
+/// What the DBA wants to optimize (Section 8.4).
+enum class AdvisorGoal {
+  kPerformance,  ///< Maximize transactional throughput (moderate N, M at ~p75).
+  kLongevity,    ///< Minimize erases: larger [NxM] within flash limits.
+  kSpace,        ///< Minimize delta-area overhead: small N, M at ~p50.
+};
+
+const char* AdvisorGoalName(AdvisorGoal g);
+
+/// Observed write behaviour of one DB object (table or index).
+struct ObjectProfile {
+  std::string name;
+  /// Net changed bytes (tuple data) per page flush.
+  SampleDistribution net_update_sizes;
+  /// Changed metadata bytes (header + slot array) per page flush.
+  SampleDistribution meta_update_sizes;
+};
+
+/// Advisor output.
+struct Advice {
+  storage::Scheme scheme;
+  /// Estimated fraction of update I/Os this scheme turns into in-place
+  /// appends (renewal-model estimate, see Recommend()).
+  double expected_ipa_fraction = 0.0;
+  /// Delta-area overhead as a fraction of the page.
+  double space_overhead = 0.0;
+  std::string rationale;
+};
+
+/// Estimate the long-run fraction of page flushes served as in-place appends
+/// for hit-probability `p` (diff fits one record) and `n` record slots:
+/// after each out-of-place write, the j-th subsequent flush appends with
+/// probability p^j (all previous must have fit too), so a cycle contains
+/// A = sum_{j=1..n} p^j appends and one out-of-place write.
+double EstimateIpaFraction(double p, uint32_t n);
+
+/// Recommend a scheme for one object. `cell` bounds N (MLC tolerates fewer
+/// reprograms than SLC); `page_size` bounds the delta-area share.
+Advice Recommend(const ObjectProfile& profile, flash::CellType cell,
+                 uint32_t page_size, AdvisorGoal goal);
+
+}  // namespace ipa::core

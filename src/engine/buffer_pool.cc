@@ -1,0 +1,238 @@
+#include "engine/buffer_pool.h"
+
+#include <cstring>
+
+#include "storage/delta_record.h"
+#include "storage/slotted_page.h"
+
+namespace ipa::engine {
+
+BufferPool::BufferPool(BufferConfig config,
+                       std::function<ftl::PageDevice*(TablespaceId)> device_of,
+                       std::function<void(Lsn)> ensure_log_durable)
+    : config_(config),
+      device_of_(std::move(device_of)),
+      ensure_log_durable_(std::move(ensure_log_durable)) {
+  frames_.resize(config_.frames);
+  for (auto& f : frames_) {
+    f.cur.resize(config_.page_size);
+    f.base.resize(config_.page_size);
+  }
+  table_.reserve(config_.frames * 2);
+}
+
+Result<BufferPool::Frame*> BufferPool::Fix(PageId id, bool for_format) {
+  stats_.fetches++;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins++;
+    f.ref = true;
+    stats_.hits++;
+    return &f;
+  }
+  stats_.misses++;
+  IPA_ASSIGN_OR_RETURN(Frame * victim, GetVictim());
+  IPA_RETURN_NOT_OK(LoadFrame(victim, id, for_format));
+  victim->pins = 1;
+  victim->ref = true;
+  table_[id] = static_cast<uint32_t>(victim - frames_.data());
+  return victim;
+}
+
+void BufferPool::Unfix(Frame* frame, bool dirtied, Lsn rec_lsn) {
+  if (frame->pins > 0) frame->pins--;
+  if (dirtied) {
+    if (!frame->dirty) {
+      frame->dirty = true;
+      dirty_count_++;
+      frame->rec_lsn = rec_lsn;
+    } else if (frame->rec_lsn == kInvalidLsn) {
+      frame->rec_lsn = rec_lsn;
+    }
+  }
+}
+
+Result<BufferPool::Frame*> BufferPool::GetVictim() {
+  // Clock (second chance) over all frames; 2 full sweeps max.
+  for (uint32_t step = 0; step < 2 * config_.frames; step++) {
+    Frame& f = frames_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % config_.frames;
+    if (f.pins > 0) continue;
+    if (!f.valid) return &f;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    if (f.dirty) {
+      IPA_RETURN_NOT_OK(FlushFrame(&f, /*async=*/false));
+    }
+    table_.erase(f.id);
+    f.valid = false;
+    stats_.evictions++;
+    return &f;
+  }
+  return Status::Busy("all buffer frames pinned");
+}
+
+Status BufferPool::LoadFrame(Frame* frame, PageId id, bool for_format) {
+  frame->id = id;
+  frame->valid = true;
+  frame->dirty = false;
+  frame->rec_lsn = kInvalidLsn;
+  if (for_format) {
+    std::memset(frame->cur.data(), 0, config_.page_size);
+    std::memset(frame->base.data(), 0, config_.page_size);
+    return Status::OK();
+  }
+  ftl::PageDevice* dev = device_of_(id.tablespace());
+  IPA_RETURN_NOT_OK(dev->ReadPage(id.lba(), frame->cur.data()));
+  if (config_.io_trace) {
+    config_.io_trace->push_back(
+        {IoEvent::Type::kFetch, id.raw, config_.page_size});
+  }
+  // Re-create the up-to-date version: apply any delta-records found on the
+  // physical page (Section 6.2). The base image is the post-apply state, so
+  // a later flush diffs only the changes made since this fetch.
+  storage::ApplyDeltaRecords(frame->cur.data(), config_.page_size);
+  std::memcpy(frame->base.data(), frame->cur.data(), config_.page_size);
+  return Status::OK();
+}
+
+Status BufferPool::FlushFrame(Frame* frame, bool async) {
+  if (!frame->dirty) return Status::OK();
+  stats_.flushes++;
+
+  ftl::PageDevice* dev = device_of_(frame->id.tablespace());
+  ftl::Lba lba = frame->id.lba();
+  bool flash_exists = dev->IsMapped(lba);
+  bool dev_ok = flash_exists && dev->DeltaWritePossible(lba);
+
+  core::EvictionDecision d = core::PlanEviction(
+      frame->base.data(), frame->cur.data(), config_.page_size, flash_exists,
+      dev_ok, config_.record_update_sizes);
+  if (config_.record_update_sizes && flash_exists) RecordTrace(*frame, d);
+
+  switch (d.path) {
+    case core::WritePath::kClean:
+      stats_.clean_diff_skips++;
+      break;
+    case core::WritePath::kInPlaceAppend: {
+      storage::SlottedPage view(frame->cur.data(), config_.page_size);
+      ensure_log_durable_(view.page_lsn());
+      Status s = dev->WriteDelta(lba, d.plan.write_offset,
+                                 frame->cur.data() + d.plan.write_offset,
+                                 d.plan.write_len, !async);
+      if (s.IsNotSupported()) {
+        // Device-level rejection (program budget, ISPP...): fall back to a
+        // full out-of-place write with a reset delta area.
+        stats_.ipa_fallbacks++;
+        view.ResetDeltaArea();
+        IPA_RETURN_NOT_OK(dev->WritePage(lba, frame->cur.data(), !async));
+        stats_.oop_flushes++;
+        if (config_.io_trace) {
+          config_.io_trace->push_back(
+              {IoEvent::Type::kEvictOop, frame->id.raw, config_.page_size});
+        }
+      } else {
+        IPA_RETURN_NOT_OK(s);
+        stats_.ipa_flushes++;
+        stats_.delta_records_written += d.plan.records;
+        if (config_.io_trace) {
+          config_.io_trace->push_back(
+              {IoEvent::Type::kEvictIpa, frame->id.raw, d.plan.write_len});
+        }
+      }
+      break;
+    }
+    case core::WritePath::kOutOfPlace: {
+      storage::SlottedPage view(frame->cur.data(), config_.page_size);
+      ensure_log_durable_(view.page_lsn());
+      IPA_RETURN_NOT_OK(dev->WritePage(lba, frame->cur.data(), !async));
+      stats_.oop_flushes++;
+      if (config_.io_trace) {
+        config_.io_trace->push_back(
+            {IoEvent::Type::kEvictOop, frame->id.raw, config_.page_size});
+      }
+      break;
+    }
+  }
+
+  std::memcpy(frame->base.data(), frame->cur.data(), config_.page_size);
+  frame->dirty = false;
+  frame->rec_lsn = kInvalidLsn;
+  if (dirty_count_ > 0) dirty_count_--;
+  return Status::OK();
+}
+
+void BufferPool::RecordTrace(const Frame& frame, const core::EvictionDecision& d) {
+  storage::SlottedPage view(const_cast<uint8_t*>(frame.cur.data()),
+                            config_.page_size);
+  UpdateSizeTrace& t = traces_[view.table_id()];
+  t.net.Add(d.body_bytes_changed);
+  t.meta.Add(d.meta_bytes_changed);
+  t.gross.Add(d.body_bytes_changed + d.meta_bytes_changed);
+}
+
+Status BufferPool::FlushAll(bool async) {
+  for (auto& f : frames_) {
+    if (f.valid && f.dirty) {
+      IPA_RETURN_NOT_OK(FlushFrame(&f, async));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::MaybeRunCleaner() {
+  double dirty_frac =
+      static_cast<double>(dirty_count_) / static_cast<double>(config_.frames);
+  if (dirty_frac < config_.dirty_flush_threshold) return Status::OK();
+  stats_.cleaner_runs++;
+  // Clean (but do not evict) the next dirty unpinned frames in clock order —
+  // an approximation of Shore-MT's background cleaner picking cold pages.
+  uint32_t cleaned = 0;
+  uint32_t hand = clock_hand_;
+  for (uint32_t step = 0; step < config_.frames && cleaned < config_.cleaner_batch;
+       step++) {
+    Frame& f = frames_[hand];
+    hand = (hand + 1) % config_.frames;
+    if (!f.valid || !f.dirty || f.pins > 0) continue;
+    IPA_RETURN_NOT_OK(FlushFrame(&f, config_.cleaner_async));
+    cleaned++;
+  }
+  return Status::OK();
+}
+
+void BufferPool::DropAllNoFlush() {
+  table_.clear();
+  for (auto& f : frames_) {
+    f.valid = false;
+    f.dirty = false;
+    f.pins = 0;
+    f.rec_lsn = kInvalidLsn;
+  }
+  dirty_count_ = 0;
+}
+
+void BufferPool::DropPageNoFlush(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.dirty && dirty_count_ > 0) dirty_count_--;
+  f.valid = false;
+  f.dirty = false;
+  f.pins = 0;
+  table_.erase(it);
+}
+
+Lsn BufferPool::MinRecLsn() const {
+  Lsn min = kInvalidLsn;
+  for (const auto& f : frames_) {
+    if (f.valid && f.dirty && f.rec_lsn != kInvalidLsn && f.rec_lsn < min) {
+      min = f.rec_lsn;
+    }
+  }
+  return min;
+}
+
+}  // namespace ipa::engine

@@ -1,0 +1,149 @@
+// Buffer pool with the IPA write path.
+//
+// Shore-MT policies reproduced here (Section 8.4):
+//  * steal/no-force: dirty pages may be flushed before commit; commits do not
+//    force data pages;
+//  * eager page cleaning: once the dirty fraction crosses a threshold
+//    (12.5% hardcoded in Shore-MT) a background cleaner flushes dirty pages
+//    without evicting them (async device writes);
+//  * the WAL rule: a dirty page flush first forces the log up to the PageLSN.
+//
+// On every dirty-page flush the pool consults core::PlanEviction, which
+// byte-diffs the page against its base (flash) image and picks in-place
+// append vs out-of-place write. On fetch, delta-records found on the page
+// are applied before the page is handed out (Section 6.2 "The page is
+// fetched into the DB buffer").
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/write_policy.h"
+#include "engine/types.h"
+#include "ftl/page_device.h"
+
+namespace ipa::engine {
+
+struct BufferConfig {
+  uint32_t page_size = 4096;
+  uint32_t frames = 1024;
+  /// Dirty fraction that triggers the background cleaner (Shore-MT: 12.5%).
+  /// Set to ~0.75 for the paper's "non-eager" eviction experiments.
+  double dirty_flush_threshold = 0.125;
+  /// Dirty pages flushed per cleaner activation.
+  uint32_t cleaner_batch = 32;
+  /// Cleaner writes are asynchronous device requests (they occupy chips but
+  /// do not block the simulated host).
+  bool cleaner_async = true;
+  /// Record per-table update-size distributions at flush time (costs an
+  /// exact page diff per flush; needed for Table 1 / Figures 7-10).
+  bool record_update_sizes = false;
+  /// When set, fetch/evict events are appended here (see engine::IoEvent).
+  std::vector<IoEvent>* io_trace = nullptr;
+};
+
+struct BufferStats {
+  uint64_t fetches = 0;       ///< Fix() calls.
+  uint64_t hits = 0;          ///< Served from the pool.
+  uint64_t misses = 0;        ///< Required a device read.
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;          ///< Dirty flushes attempted.
+  uint64_t clean_diff_skips = 0; ///< Dirty flag set but zero byte diff.
+  uint64_t ipa_flushes = 0;      ///< Served by write_delta.
+  uint64_t oop_flushes = 0;      ///< Full out-of-place page writes.
+  uint64_t ipa_fallbacks = 0;    ///< write_delta rejected at device level.
+  uint64_t cleaner_runs = 0;
+  uint64_t delta_records_written = 0;
+};
+
+/// Per-table update-size traces (net = tuple bytes, meta = header+slots,
+/// gross = net+meta), sampled at each flush of a previously-written page.
+struct UpdateSizeTrace {
+  SampleDistribution net;
+  SampleDistribution meta;
+  SampleDistribution gross;
+};
+
+class BufferPool {
+ public:
+  struct Frame {
+    PageId id;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t pins = 0;
+    bool ref = false;           ///< Clock reference bit.
+    Lsn rec_lsn = kInvalidLsn;  ///< LSN that first dirtied the frame.
+    std::vector<uint8_t> cur;   ///< Working image.
+    std::vector<uint8_t> base;  ///< Image as it exists on flash (deltas applied).
+  };
+
+  /// `device_of` maps a tablespace id to the PageDevice backing it (a NoFTL
+  /// region or a conventional SSD with the write_delta extension).
+  BufferPool(BufferConfig config,
+             std::function<ftl::PageDevice*(TablespaceId)> device_of,
+             std::function<void(Lsn)> ensure_log_durable);
+
+  /// Fix a page into the pool. With `for_format` the device read is skipped
+  /// and the frame content starts undefined (caller formats it).
+  Result<Frame*> Fix(PageId id, bool for_format = false);
+
+  /// Release a fix. `dirtied` marks the frame dirty; `rec_lsn` is the log
+  /// record that dirtied it (ignored unless dirtied).
+  void Unfix(Frame* frame, bool dirtied, Lsn rec_lsn = kInvalidLsn);
+
+  /// Flush one frame (IPA decision path). Clears dirty on success.
+  Status FlushFrame(Frame* frame, bool async);
+
+  /// Flush every dirty frame. With `async` the writes are background
+  /// device requests (checkpointer/cleaner semantics: they occupy chips but
+  /// do not block the simulated host).
+  Status FlushAll(bool async = false);
+
+  /// Run the eager cleaner if the dirty fraction crossed the threshold.
+  Status MaybeRunCleaner();
+
+  /// Drop every frame without flushing (crash simulation).
+  void DropAllNoFlush();
+
+  /// Drop one page's frame without flushing (table drop). No-op if absent.
+  void DropPageNoFlush(PageId id);
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+  const std::map<TableId, UpdateSizeTrace>& update_traces() const {
+    return traces_;
+  }
+  std::map<TableId, UpdateSizeTrace>& mutable_update_traces() { return traces_; }
+
+  uint32_t frame_count() const { return config_.frames; }
+  uint32_t dirty_count() const { return dirty_count_; }
+  const BufferConfig& config() const { return config_; }
+
+  /// Lowest rec_lsn across dirty frames (log-truncation bound), or
+  /// kInvalidLsn when no frame is dirty.
+  Lsn MinRecLsn() const;
+
+ private:
+  Result<Frame*> GetVictim();
+  Status LoadFrame(Frame* frame, PageId id, bool for_format);
+  void RecordTrace(const Frame& frame, const core::EvictionDecision& d);
+
+  BufferConfig config_;
+  std::function<ftl::PageDevice*(TablespaceId)> device_of_;
+  std::function<void(Lsn)> ensure_log_durable_;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t> table_;  // page -> frame index
+  uint32_t clock_hand_ = 0;
+  uint32_t dirty_count_ = 0;
+  BufferStats stats_;
+  std::map<TableId, UpdateSizeTrace> traces_;
+};
+
+}  // namespace ipa::engine

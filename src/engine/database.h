@@ -1,0 +1,210 @@
+// Database: the engine facade tying together WAL, buffer pool, lock manager,
+// heap storage and recovery over NoFTL regions — a compact ARIES-style
+// storage engine reproducing the Shore-MT policies the paper's evaluation
+// depends on (steal/no-force, eager page cleaning, eager log reclamation).
+//
+// DDL model (Figure 3): the caller creates NoFTL regions on the device,
+// binds them to tablespaces (each with its page [NxM] scheme), and creates
+// tables inside tablespaces. IPA thereby applies selectively per DB object.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/buffer_pool.h"
+#include "engine/lock_manager.h"
+#include "engine/types.h"
+#include "engine/wal.h"
+#include "ftl/noftl.h"
+#include "storage/page_format.h"
+#include "storage/slotted_page.h"
+
+namespace ipa::engine {
+
+struct EngineConfig {
+  uint32_t page_size = 4096;
+  uint32_t buffer_pages = 1024;
+  /// Dirty-page fraction that triggers the background cleaner
+  /// (Shore-MT default 12.5%; the paper's "non-eager" runs use 75%).
+  double dirty_flush_threshold = 0.125;
+  /// Log-space fraction that triggers a checkpoint + truncation
+  /// (Shore-MT reclaims at 25-50% consumption; "non-eager" runs use ~1.0).
+  double log_reclaim_threshold = 0.375;
+  uint64_t log_capacity_bytes = 16ull << 20;
+  bool cleaner_async = true;
+  /// Record per-table update-size distributions (Table 1 / Figures 7-10).
+  bool record_update_sizes = false;
+  /// Record the logical I/O event trace (fetch/update/evict) consumed by the
+  /// IPL-vs-IPA comparison (Section 8.3).
+  bool record_io_trace = false;
+};
+
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  LatencyStats txn_latency;  ///< Simulated txn duration begin->commit.
+};
+
+class Database {
+ public:
+  /// `ftl` may be null when every tablespace is bound through
+  /// CreateTablespaceOn (e.g. conventional-SSD deployments); `clock` then
+  /// provides simulated time for transaction latencies (owned if null).
+  Database(ftl::NoFtl* ftl, EngineConfig config, SimClock* clock = nullptr);
+
+  // -- DDL --------------------------------------------------------------------
+
+  /// Bind an existing NoFTL region to a new tablespace. Pages in this
+  /// tablespace carry `scheme` (use a default Scheme{} for no IPA).
+  Result<TablespaceId> CreateTablespace(const std::string& name,
+                                        ftl::RegionId region,
+                                        storage::Scheme scheme);
+
+  /// Bind an arbitrary PageDevice (e.g. a conventional SSD with the
+  /// write_delta extension) to a new tablespace.
+  Result<TablespaceId> CreateTablespaceOn(const std::string& name,
+                                          ftl::PageDevice* device,
+                                          storage::Scheme scheme);
+
+  Result<TableId> CreateTable(const std::string& name, TablespaceId ts);
+
+  // -- Transactions -----------------------------------------------------------
+
+  TxnId Begin();
+  Status Commit(TxnId txn);
+  /// Roll back through the log (CLR-protected) and release locks.
+  Status Abort(TxnId txn);
+
+  // -- DML (all byte-span based; schemas live in src/workload) ----------------
+
+  Result<Rid> Insert(TxnId txn, TableId table, std::span<const uint8_t> tuple);
+  Result<std::vector<uint8_t>> Read(TxnId txn, Rid rid, bool for_update = false);
+  /// Fixed-length in-place update of `bytes` at `offset` within the tuple —
+  /// the IPA-friendly small update.
+  Status Update(TxnId txn, Rid rid, uint32_t offset, std::span<const uint8_t> bytes);
+  /// Whole-tuple replacement; may relocate within the page.
+  Status UpdateResize(TxnId txn, Rid rid, std::span<const uint8_t> tuple);
+  Status Delete(TxnId txn, Rid rid);
+  /// Delete + reinsert (possibly on another page) when a grown tuple no
+  /// longer fits its page. Returns the new Rid.
+  Result<Rid> Move(TxnId txn, Rid rid, std::span<const uint8_t> tuple);
+
+  /// Sequential scan; `fn` returns false to stop. Not transactional (used by
+  /// loaders and index rebuilds).
+  Status Scan(TableId table,
+              const std::function<bool(Rid, std::span<const uint8_t>)>& fn);
+
+  /// Drop a table: TRIM every page it owned (freeing the flash space) and
+  /// detach it from the catalog. Irreversible; not transactional (like most
+  /// systems, DDL here is not covered by transaction rollback).
+  Status DropTable(TableId table);
+
+  /// Allocate and format a fresh page for index structures (format record is
+  /// redo-only; index content itself is not WAL-logged — see engine/btree.h).
+  Result<PageId> AllocateIndexPage(TableId table) {
+    PageId id;
+    IPA_RETURN_NOT_OK(AllocatePage(table, &id, kInvalidTxn));
+    return id;
+  }
+
+  // -- Maintenance / recovery --------------------------------------------------
+
+  /// Sharp checkpoint: flush all dirty pages, emit a checkpoint record,
+  /// truncate the log (bounded by the oldest active transaction).
+  Status Checkpoint();
+
+  /// Crash simulation: throw away buffer contents and unflushed log.
+  void SimulateCrash();
+
+  /// ARIES restart: analysis / redo / undo over the surviving log.
+  Status Recover();
+
+  // -- Introspection ------------------------------------------------------------
+
+  BufferPool& buffer_pool() { return *pool_; }
+  Wal& wal() { return wal_; }
+  ftl::NoFtl& ftl() { return *ftl_; }
+  const TxnStats& txn_stats() const { return txn_stats_; }
+  void ResetTxnStats() { txn_stats_ = TxnStats{}; }
+  const EngineConfig& config() const { return config_; }
+  ftl::RegionId region_of(TablespaceId ts) const {
+    return tablespaces_[ts].region;
+  }
+  uint64_t table_page_count(TableId t) const {
+    return tables_[t].pages.size();
+  }
+  const std::string& table_name(TableId t) const { return tables_[t].name; }
+  uint64_t checkpoints_taken() const { return checkpoints_; }
+
+  /// Number of active (open) transactions.
+  size_t active_txns() const { return txns_.size(); }
+
+  /// The recorded I/O trace (empty unless config.record_io_trace).
+  const std::vector<IoEvent>& io_trace() const { return io_trace_; }
+  void ClearIoTrace() { io_trace_.clear(); }
+
+  /// The simulated clock transaction latencies are measured against.
+  SimClock& sim_clock() { return *clock_; }
+
+ private:
+  struct Tablespace {
+    std::string name;
+    ftl::PageDevice* device = nullptr;
+    ftl::RegionId region = 0;  ///< Valid only for NoFTL-backed tablespaces.
+    storage::Scheme scheme;
+    uint64_t next_lba = 0;
+    uint64_t capacity_pages = 0;
+  };
+
+  struct Table {
+    std::string name;
+    TablespaceId ts;
+    std::vector<PageId> pages;
+    /// Insertion hint: index of the page last observed to have room.
+    size_t insert_hint = 0;
+    bool dropped = false;
+  };
+
+  struct TxnState {
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+  };
+
+  Lsn Log(LogRecord rec, TxnId txn);
+  void TraceUpdate(PageId page, uint32_t log_bytes);
+  Status AllocatePage(TableId table, PageId* out, TxnId txn);
+  /// Fix the page of `rid` and run `fn` on it; handles unfix + dirty marking.
+  Status WithPage(PageId id,
+                  const std::function<Status(storage::SlottedPage&, bool* dirtied,
+                                             Lsn* rec_lsn)>& fn);
+  Status MaybeReclaimLog();
+  Status UndoRecord(TxnId txn, const LogRecord& rec, Lsn rec_lsn);
+  Status RedoRecord(const LogRecord& rec, Lsn lsn);
+  Status ApplyToPage(const LogRecord& rec, Lsn lsn, bool undo);
+
+  ftl::NoFtl* ftl_;
+  SimClock* clock_;
+  std::unique_ptr<SimClock> owned_clock_;
+  EngineConfig config_;
+  Wal wal_;
+  std::unique_ptr<BufferPool> pool_;
+  LockManager locks_;
+  std::vector<Tablespace> tablespaces_;
+  std::vector<Table> tables_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  TxnId next_txn_ = 1;
+  TxnStats txn_stats_;
+  std::unordered_map<TxnId, SimTime> txn_begin_time_;
+  uint64_t checkpoints_ = 0;
+  bool in_recovery_ = false;
+  std::vector<IoEvent> io_trace_;
+};
+
+}  // namespace ipa::engine

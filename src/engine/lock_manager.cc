@@ -1,0 +1,51 @@
+#include "engine/lock_manager.h"
+
+namespace ipa::engine {
+
+Status LockManager::Acquire(TxnId txn, uint64_t key, LockMode mode) {
+  Entry& e = locks_[key];
+  if (mode == LockMode::kShared) {
+    if (e.xholder != kInvalidTxn && e.xholder != txn) {
+      return Status::Busy("X-locked by another transaction");
+    }
+    if (e.xholder == txn) return Status::OK();  // X covers S
+    auto [it, inserted] = e.sharers.insert(txn);
+    if (inserted) held_[txn].push_back(key);
+    return Status::OK();
+  }
+  // Exclusive.
+  if (e.xholder == txn) return Status::OK();
+  if (e.xholder != kInvalidTxn) {
+    return Status::Busy("X-locked by another transaction");
+  }
+  if (!e.sharers.empty() &&
+      !(e.sharers.size() == 1 && e.sharers.count(txn) == 1)) {
+    return Status::Busy("S-locked by other transactions");
+  }
+  bool had_s = e.sharers.erase(txn) > 0;
+  e.xholder = txn;
+  if (!had_s) held_[txn].push_back(key);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (uint64_t key : it->second) {
+    auto le = locks_.find(key);
+    if (le == locks_.end()) continue;
+    if (le->second.xholder == txn) le->second.xholder = kInvalidTxn;
+    le->second.sharers.erase(txn);
+    if (le->second.xholder == kInvalidTxn && le->second.sharers.empty()) {
+      locks_.erase(le);
+    }
+  }
+  held_.erase(it);
+}
+
+size_t LockManager::held_count(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ipa::engine

@@ -1,0 +1,43 @@
+// Record-granularity two-phase locking.
+//
+// The engine executes transactions on one thread (the simulation is
+// single-threaded and deterministic), but transactions may interleave
+// logically; the lock manager enforces S/X conflicts between open
+// transactions and returns Busy on conflict (no blocking — the caller
+// aborts or retries, a timeout-free deadlock policy).
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace ipa::engine {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  /// Acquire (or upgrade) a lock on `key` for `txn`. Re-entrant. Returns
+  /// Busy when another transaction holds a conflicting mode.
+  Status Acquire(TxnId txn, uint64_t key, LockMode mode);
+
+  /// Release every lock held by `txn` (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  size_t held_count(TxnId txn) const;
+
+ private:
+  struct Entry {
+    std::unordered_set<TxnId> sharers;
+    TxnId xholder = kInvalidTxn;
+  };
+  std::unordered_map<uint64_t, Entry> locks_;
+  std::unordered_map<TxnId, std::vector<uint64_t>> held_;
+};
+
+}  // namespace ipa::engine

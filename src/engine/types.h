@@ -1,0 +1,81 @@
+// Engine-wide identifier types.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ipa::engine {
+
+/// Log sequence number: byte offset into the (conceptually infinite) log.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = ~0ull;
+
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxn = 0;
+
+using TableId = uint32_t;
+using TablespaceId = uint16_t;
+
+/// Global page id: tablespace in the top 16 bits, the page's LBA within the
+/// tablespace's region in the low 48 bits.
+struct PageId {
+  uint64_t raw = ~0ull;
+
+  PageId() = default;
+  PageId(TablespaceId ts, uint64_t lba)
+      : raw((static_cast<uint64_t>(ts) << 48) | (lba & 0xFFFFFFFFFFFFull)) {}
+
+  TablespaceId tablespace() const { return static_cast<TablespaceId>(raw >> 48); }
+  uint64_t lba() const { return raw & 0xFFFFFFFFFFFFull; }
+  bool valid() const { return raw != ~0ull; }
+
+  bool operator==(const PageId&) const = default;
+};
+
+/// Record id: page + slot.
+struct Rid {
+  PageId page;
+  uint16_t slot = 0;
+
+  bool valid() const { return page.valid(); }
+  bool operator==(const Rid&) const = default;
+
+  /// Pack into 64 bits for index values: ts(16) | slot(16) | lba(32).
+  /// Requires the LBA to fit 32 bits (256 TB of 4KB pages per tablespace).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page.tablespace()) << 48) |
+           (static_cast<uint64_t>(slot) << 32) | (page.lba() & 0xFFFFFFFFull);
+  }
+  static Rid Unpack(uint64_t v) {
+    Rid r;
+    r.page = PageId(static_cast<TablespaceId>(v >> 48), v & 0xFFFFFFFFull);
+    r.slot = static_cast<uint16_t>(v >> 32);
+    return r;
+  }
+};
+
+/// One event of the logical I/O trace: the input format for the IPL-vs-IPA
+/// comparison (Section 8.3) and for offline trace analyses. Updates are
+/// recorded at DML time (they feed IPL's in-memory log sectors); fetches and
+/// evictions at the buffer-pool boundary.
+struct IoEvent {
+  enum class Type : uint8_t {
+    kFetch,     ///< Page read from storage into the pool.
+    kUpdate,    ///< One logical update; bytes = redo-log-entry payload.
+    kEvictIpa,  ///< Dirty flush served as write_delta; bytes = delta length.
+    kEvictOop,  ///< Dirty flush as out-of-place page write; bytes = page size.
+  };
+  Type type;
+  uint64_t page;   ///< PageId::raw.
+  uint32_t bytes;
+};
+
+}  // namespace ipa::engine
+
+template <>
+struct std::hash<ipa::engine::PageId> {
+  size_t operator()(const ipa::engine::PageId& p) const noexcept {
+    return std::hash<uint64_t>{}(p.raw);
+  }
+};

@@ -1,0 +1,97 @@
+// Write-ahead log (ARIES-style, Shore-MT flavored).
+//
+// The log is a byte-addressed append-only stream; an LSN is a byte offset.
+// Records carry per-transaction backward chains (prev), physical
+// before/after images for undo/redo, and CLRs for partial rollback. The log
+// "device" is modeled in memory and is separate from the flash data device
+// (as in the paper's testbed, where the log lives on its own volume and the
+// evaluation concerns data-page I/O).
+//
+// Log-space reclamation: Shore-MT eagerly reclaims log space once 25-50% of
+// the configured capacity is consumed, forcing checkpoints and dirty-page
+// flushes (Section 8.4 discusses how this policy shapes host writes at large
+// buffer sizes). The engine polls UsedFraction() and triggers checkpoints
+// accordingly; TruncateTo() releases the prefix.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace ipa::engine {
+
+enum class LogType : uint8_t {
+  kBegin = 1,
+  kCommit,
+  kAbort,       ///< Rollback completed.
+  kUpdate,      ///< Byte-range update within a tuple (before/after images).
+  kInsert,      ///< Tuple insert (after image).
+  kDelete,      ///< Tuple delete (before image).
+  kResize,      ///< Whole-tuple replacement (before + after images).
+  kFormat,      ///< Page formatted (aux64 = table id, low 32 bits).
+  kClr,         ///< Compensation record (aux64 = undo-next LSN).
+  kCheckpoint,  ///< Sharp checkpoint (all dirty pages flushed before emit).
+};
+
+struct LogRecord {
+  LogType type = LogType::kBegin;
+  TxnId txn = kInvalidTxn;
+  Lsn prev = kInvalidLsn;  ///< Previous record of the same transaction.
+  PageId page;             ///< Affected page (update/insert/delete/format).
+  uint16_t slot = 0;
+  uint16_t offset = 0;     ///< Byte offset within the tuple for kUpdate.
+  uint64_t aux64 = 0;      ///< Type-specific (see LogType).
+  std::vector<uint8_t> before;
+  std::vector<uint8_t> after;
+};
+
+class Wal {
+ public:
+  explicit Wal(uint64_t capacity_bytes = 64ull << 20)
+      : capacity_(capacity_bytes) {}
+
+  /// Append a record; returns its LSN. The record is not durable until
+  /// FlushTo()/FlushAll() covers it.
+  Lsn Append(const LogRecord& rec);
+
+  /// Ensure everything up to and including `lsn` is durable (WAL rule).
+  void FlushTo(Lsn lsn);
+  void FlushAll() { durable_ = end_lsn_; }
+  Lsn durable_lsn() const { return durable_; }
+  Lsn end_lsn() const { return end_lsn_; }
+  Lsn base_lsn() const { return base_; }
+
+  /// Read the record at `lsn` (must be a valid, untruncated LSN).
+  Result<LogRecord> Read(Lsn lsn) const;
+
+  /// LSN of the record following `lsn`, or end_lsn() if none.
+  Result<Lsn> NextLsn(Lsn lsn) const;
+
+  /// Drop the log prefix before `lsn` (checkpoint-driven reclamation).
+  Status TruncateTo(Lsn lsn);
+
+  uint64_t UsedBytes() const { return end_lsn_ - base_; }
+  double UsedFraction() const {
+    return static_cast<double>(UsedBytes()) / static_cast<double>(capacity_);
+  }
+  uint64_t capacity() const { return capacity_; }
+
+  /// Crash simulation: discard all records beyond the durable LSN, as a real
+  /// crash would. The surviving prefix is what restart recovery sees.
+  void DiscardUnflushed();
+
+  /// Total bytes ever appended (for write-volume accounting).
+  uint64_t TotalAppended() const { return end_lsn_; }
+
+ private:
+  uint64_t capacity_;
+  std::vector<uint8_t> buf_;   // holds [base_, end_lsn_)
+  Lsn base_ = 0;
+  Lsn end_lsn_ = 0;
+  Lsn durable_ = 0;
+};
+
+}  // namespace ipa::engine

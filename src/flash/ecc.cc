@@ -1,0 +1,119 @@
+#include "flash/ecc.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ipa::flash {
+
+namespace {
+
+inline uint8_t Parity8(uint8_t b) {
+  return static_cast<uint8_t>(std::popcount(static_cast<unsigned>(b)) & 1);
+}
+
+}  // namespace
+
+std::array<uint8_t, kEccBytesPerSegment> EccEncode(const uint8_t* data, size_t len) {
+  // Classic SmartMedia 22-bit Hamming code: 16 line-parity bits over the byte
+  // address, 6 column-parity bits over the bit position.
+  uint16_t lp = 0;  // bit 2k = LP2k (address bit k == 0), bit 2k+1 = LP2k+1
+  uint8_t cp = 0;   // bits 0..5 = CP0..CP5
+
+  for (size_t i = 0; i < kEccSegment; i++) {
+    uint8_t b = (i < len) ? data[i] : 0;
+    if (Parity8(b)) {
+      for (unsigned k = 0; k < 8; k++) {
+        unsigned bit = ((i >> k) & 1) ? (2 * k + 1) : (2 * k);
+        lp ^= static_cast<uint16_t>(1u << bit);
+      }
+    }
+    cp ^= static_cast<uint8_t>(Parity8(b & 0x55) << 0);
+    cp ^= static_cast<uint8_t>(Parity8(b & 0xAA) << 1);
+    cp ^= static_cast<uint8_t>(Parity8(b & 0x33) << 2);
+    cp ^= static_cast<uint8_t>(Parity8(b & 0xCC) << 3);
+    cp ^= static_cast<uint8_t>(Parity8(b & 0x0F) << 4);
+    cp ^= static_cast<uint8_t>(Parity8(b & 0xF0) << 5);
+  }
+
+  std::array<uint8_t, 3> ecc;
+  ecc[0] = static_cast<uint8_t>(lp & 0xFF);
+  ecc[1] = static_cast<uint8_t>(lp >> 8);
+  ecc[2] = static_cast<uint8_t>(cp | 0xC0);  // top two bits fixed to 1
+  return ecc;
+}
+
+EccResult EccCheckAndCorrect(uint8_t* data, size_t len,
+                             const std::array<uint8_t, kEccBytesPerSegment>& stored) {
+  auto computed = EccEncode(data, len);
+  uint8_t d0 = static_cast<uint8_t>(stored[0] ^ computed[0]);
+  uint8_t d1 = static_cast<uint8_t>(stored[1] ^ computed[1]);
+  uint8_t d2 = static_cast<uint8_t>((stored[2] ^ computed[2]) & 0x3F);
+
+  if ((d0 | d1 | d2) == 0) return EccResult::kClean;
+
+  int total = std::popcount(static_cast<unsigned>(d0)) +
+              std::popcount(static_cast<unsigned>(d1)) +
+              std::popcount(static_cast<unsigned>(d2));
+
+  // A single flipped data bit flips exactly one bit of every LP/CP pair:
+  // 8 LP pairs + 3 CP pairs = 11 differing bits, one per pair.
+  bool one_per_pair = (((d0 ^ (d0 >> 1)) & 0x55) == 0x55) &&
+                      (((d1 ^ (d1 >> 1)) & 0x55) == 0x55) &&
+                      (((d2 ^ (d2 >> 1)) & 0x15) == 0x15);
+  if (total == 11 && one_per_pair) {
+    unsigned byte_addr = ((d0 >> 1) & 1) << 0 | ((d0 >> 3) & 1) << 1 |
+                         ((d0 >> 5) & 1) << 2 | ((d0 >> 7) & 1) << 3 |
+                         ((d1 >> 1) & 1) << 4 | ((d1 >> 3) & 1) << 5 |
+                         ((d1 >> 5) & 1) << 6 | ((d1 >> 7) & 1) << 7;
+    unsigned bit_addr = ((d2 >> 1) & 1) << 0 | ((d2 >> 3) & 1) << 1 |
+                        ((d2 >> 5) & 1) << 2;
+    if (byte_addr < len) {
+      data[byte_addr] ^= static_cast<uint8_t>(1u << bit_addr);
+    }
+    // An error in the zero-padding region cannot happen physically; if the
+    // address points past `len` the stored ECC itself was damaged.
+    return EccResult::kCorrected;
+  }
+
+  if (total == 1) {
+    // Single-bit error in the ECC bytes themselves; the data is intact.
+    return EccResult::kCorrected;
+  }
+  return EccResult::kUncorrectable;
+}
+
+size_t EccRegionBytes(size_t data_len) {
+  size_t segments = (data_len + kEccSegment - 1) / kEccSegment;
+  return segments * kEccBytesPerSegment;
+}
+
+std::vector<uint8_t> EccEncodeRegion(const uint8_t* data, size_t len) {
+  std::vector<uint8_t> out;
+  out.reserve(EccRegionBytes(len));
+  for (size_t off = 0; off < len; off += kEccSegment) {
+    size_t seg = std::min(kEccSegment, len - off);
+    auto ecc = EccEncode(data + off, seg);
+    out.insert(out.end(), ecc.begin(), ecc.end());
+  }
+  return out;
+}
+
+EccResult EccCheckRegion(uint8_t* data, size_t len, const uint8_t* stored_ecc,
+                         size_t stored_len, uint64_t* corrected_bits) {
+  EccResult worst = EccResult::kClean;
+  size_t seg_idx = 0;
+  for (size_t off = 0; off < len; off += kEccSegment, seg_idx++) {
+    if ((seg_idx + 1) * kEccBytesPerSegment > stored_len) {
+      return EccResult::kUncorrectable;
+    }
+    size_t seg = std::min(kEccSegment, len - off);
+    std::array<uint8_t, 3> stored;
+    std::memcpy(stored.data(), stored_ecc + seg_idx * kEccBytesPerSegment, 3);
+    EccResult r = EccCheckAndCorrect(data + off, seg, stored);
+    if (r == EccResult::kCorrected && corrected_bits) (*corrected_bits)++;
+    if (static_cast<int>(r) > static_cast<int>(worst)) worst = r;
+  }
+  return worst;
+}
+
+}  // namespace ipa::flash

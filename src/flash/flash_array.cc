@@ -1,0 +1,314 @@
+#include "flash/flash_array.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ipa::flash {
+
+FlashArray::FlashArray(const Geometry& geometry, const TimingModel& timing,
+                       const ErrorModel& errors, SimClock* clock)
+    : geo_(geometry),
+      timing_(timing),
+      errors_(errors),
+      rng_(errors.seed) {
+  if (clock) {
+    clock_ = clock;
+  } else {
+    owned_clock_ = std::make_unique<SimClock>();
+    clock_ = owned_clock_.get();
+  }
+  blocks_.resize(geo_.total_blocks());
+  chips_.resize(geo_.total_chips());
+  channel_busy_.assign(geo_.channels, 0);
+}
+
+Status FlashArray::CheckPpn(Ppn ppn) const {
+  if (ppn >= geo_.total_pages()) {
+    return Status::InvalidArgument("ppn out of range");
+  }
+  return Status::OK();
+}
+
+FlashArray::BlockState& FlashArray::BlockRef(Pbn pbn) { return blocks_[pbn]; }
+const FlashArray::BlockState& FlashArray::BlockRef(Pbn pbn) const {
+  return blocks_[pbn];
+}
+
+PageState& FlashArray::PageRef(Ppn ppn) {
+  BlockState& b = blocks_[BlockOf(geo_, ppn)];
+  if (b.pages.empty()) b.pages.resize(geo_.pages_per_block);
+  return b.pages[ppn % geo_.pages_per_block];
+}
+
+const PageState& FlashArray::page_state(Ppn ppn) const {
+  static const PageState kErased{};
+  const BlockState& b = blocks_[BlockOf(geo_, ppn)];
+  if (b.pages.empty()) return kErased;
+  return b.pages[ppn % geo_.pages_per_block];
+}
+
+uint32_t FlashArray::EraseCount(Pbn pbn) const { return blocks_[pbn].erase_count; }
+
+uint32_t FlashArray::MaxEraseCount() const {
+  uint32_t mx = 0;
+  for (const auto& b : blocks_) mx = std::max(mx, b.erase_count);
+  return mx;
+}
+
+bool FlashArray::IsWornOut(Pbn pbn) const {
+  return blocks_[pbn].erase_count > geo_.pe_cycle_limit;
+}
+
+void FlashArray::Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_us,
+                        uint64_t post_transfer_bytes, bool sync, IoTiming* t) {
+  uint32_t channel = chip / geo_.chips_per_channel;
+  SimTime now = clock_->Now();
+  SimTime start = now;
+
+  // Command + (for programs) data download over the channel.
+  SimTime chan_free = std::max(channel_busy_[channel], now);
+  SimTime after_cmd = chan_free + timing_.command_overhead_us +
+                      timing_.TransferUs(pre_transfer_bytes);
+  // Array operation on the chip.
+  SimTime chip_free = std::max(chips_[chip].busy_until, after_cmd);
+  SimTime after_op = chip_free + op_us;
+  // (For reads) data upload over the channel.
+  SimTime chan_free2 = std::max(channel_busy_[channel], after_op);
+  SimTime complete = chan_free2 + timing_.TransferUs(post_transfer_bytes);
+
+  channel_busy_[channel] = std::max(after_cmd, complete);
+  chips_[chip].busy_until = after_op;
+
+  if (t) {
+    t->submitted = start;
+    t->completed = complete;
+  }
+  if (sync) {
+    clock_->AdvanceTo(complete);
+  } else if (timing_.max_async_backlog_us > 0 &&
+             complete > now + timing_.max_async_backlog_us) {
+    // Bounded outstanding I/O: the background submitter stalls until its
+    // request fits the backlog window.
+    clock_->AdvanceTo(complete - timing_.max_async_backlog_us);
+  }
+}
+
+void FlashArray::MaybeInjectRetention(PageState& page) {
+  if (errors_.retention_flip_per_read <= 0.0 || page.data.empty()) return;
+  if (!rng_.Chance(errors_.retention_flip_per_read)) return;
+  // Charge leakage: a programmed 0-bit drifts back to 1. Pick a random
+  // position; if that bit is 0, flip it (persistently, in the array).
+  size_t byte = rng_.Uniform(page.data.size());
+  unsigned bit = static_cast<unsigned>(rng_.Uniform(8));
+  if ((page.data[byte] & (1u << bit)) == 0) {
+    page.data[byte] |= static_cast<uint8_t>(1u << bit);
+    stats_.retention_flips++;
+  }
+}
+
+void FlashArray::MaybeInjectInterference(Ppn lsb_ppn) {
+  if (errors_.interference_flip_per_delta <= 0.0) return;
+  if (geo_.cell_type != CellType::kMlc) return;  // negligible on SLC / 3D NAND
+  PageAddress a = FromPpn(geo_, lsb_ppn);
+  uint32_t w = WordlineOf(geo_, a.page);
+  // Interference couples into the MSB pages of the adjacent wordlines
+  // (Appendix C.2). Voltage shifts materialize as bit errors only where four
+  // threshold levels must be distinguished *and* the cells are still erased
+  // (the page's own delta area); fully programmed body cells are stable.
+  for (int dw = -1; dw <= 1; dw += 2) {
+    int64_t nw = static_cast<int64_t>(w) + dw;
+    if (nw < 0) continue;
+    uint32_t msb = static_cast<uint32_t>(2 * nw) + 3;
+    if (msb >= geo_.pages_per_block) continue;
+    Ppn npn = ToPpn(geo_, {a.chip, a.block, msb});
+    PageState& neighbor = PageRef(npn);
+    if (neighbor.IsErased() || neighbor.data.empty()) continue;
+    if (!rng_.Chance(errors_.interference_flip_per_delta)) continue;
+    // Flip one random *erased* (still-1) bit: the coupled cell picks up
+    // charge, so a 1 drifts towards 0. Programmed (0) cells are already at a
+    // high charge level and stay stable; sample until a 1-bit is found.
+    for (int attempt = 0; attempt < 64; attempt++) {
+      size_t byte = rng_.Uniform(neighbor.data.size());
+      unsigned bit = static_cast<unsigned>(rng_.Uniform(8));
+      if (neighbor.data[byte] & (1u << bit)) {
+        neighbor.data[byte] &= static_cast<uint8_t>(~(1u << bit));
+        stats_.interference_flips++;
+        break;
+      }
+    }
+  }
+}
+
+Status FlashArray::ReadPage(Ppn ppn, uint8_t* out, IoTiming* t, bool sync) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  PageState& page = PageRef(ppn);
+  MaybeInjectRetention(page);
+  if (page.data.empty()) {
+    std::memset(out, 0xFF, geo_.page_size);
+  } else {
+    std::memcpy(out, page.data.data(), geo_.page_size);
+  }
+  PageAddress a = FromPpn(geo_, ppn);
+  uint32_t chip = a.chip;
+  Occupy(chip, 0, timing_.read_us, geo_.page_size, sync, t);
+  stats_.page_reads++;
+  stats_.bytes_read += geo_.page_size;
+  return Status::OK();
+}
+
+Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
+                               uint32_t oob_len, IoTiming* t, bool sync) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  PageAddress a = FromPpn(geo_, ppn);
+  BlockState& blk = BlockRef(BlockOf(geo_, ppn));
+  if (blk.pages.empty()) blk.pages.resize(geo_.pages_per_block);
+  PageState& page = blk.pages[a.page];
+
+  if (page.program_count >= geo_.max_programs_per_page) {
+    return Status::NotSupported("page program budget exhausted (NOP limit)");
+  }
+  if (page.IsErased()) {
+    // Initial program. MLC requires in-order programming within the block.
+    if (geo_.cell_type != CellType::kSlc &&
+        static_cast<int32_t>(a.page) <= blk.highest_programmed) {
+      return Status::NotSupported("MLC requires in-order page programming");
+    }
+    page.data.assign(data, data + geo_.page_size);
+    blk.highest_programmed =
+        std::max(blk.highest_programmed, static_cast<int32_t>(a.page));
+  } else {
+    // ISPP re-program: every bit may only go 1 -> 0.
+    for (uint32_t i = 0; i < geo_.page_size; i++) {
+      if ((data[i] & page.data[i]) != data[i]) {
+        stats_.ispp_rejections++;
+        return Status::NotSupported("re-program requires 0->1 transition (ISPP)");
+      }
+    }
+    std::memcpy(page.data.data(), data, geo_.page_size);
+  }
+  page.program_count++;
+
+  if (oob && oob_len > 0) {
+    uint32_t len = std::min(oob_len, geo_.oob_size);
+    if (page.oob.empty()) page.oob.assign(geo_.oob_size, 0xFF);
+    for (uint32_t i = 0; i < len; i++) {
+      if ((oob[i] & page.oob[i]) != oob[i]) {
+        stats_.ispp_rejections++;
+        return Status::NotSupported("OOB re-program requires 0->1 transition");
+      }
+      page.oob[i] = oob[i];
+    }
+  }
+
+  bool lsb = IsLsbPage(geo_, a.page);
+  uint64_t prog_us = lsb ? timing_.program_lsb_us : timing_.program_msb_us;
+  Occupy(a.chip, geo_.page_size, prog_us, 0, sync, t);
+  stats_.page_programs++;
+  stats_.bytes_programmed += geo_.page_size;
+  return Status::OK();
+}
+
+Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
+                                uint32_t len, IoTiming* t, bool sync) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  if (len == 0) return Status::InvalidArgument("empty delta");
+  if (offset + len > geo_.page_size) {
+    return Status::InvalidArgument("delta exceeds page bounds");
+  }
+  PageAddress a = FromPpn(geo_, ppn);
+  if (geo_.cell_type == CellType::kMlc && !IsLsbPage(geo_, a.page)) {
+    // Appendix C.2: MSB pages must always be written out-of-place.
+    return Status::NotSupported("write_delta not allowed on MLC MSB pages");
+  }
+  PageState& page = PageRef(ppn);
+  if (page.IsErased()) {
+    return Status::InvalidArgument("write_delta targets an erased page");
+  }
+  if (page.program_count >= geo_.max_programs_per_page) {
+    return Status::NotSupported("page program budget exhausted (NOP limit)");
+  }
+  for (uint32_t i = 0; i < len; i++) {
+    if ((delta[i] & page.data[offset + i]) != delta[i]) {
+      stats_.ispp_rejections++;
+      return Status::NotSupported("delta requires 0->1 transition (ISPP)");
+    }
+  }
+  std::memcpy(page.data.data() + offset, delta, len);
+  page.program_count++;
+
+  MaybeInjectInterference(ppn);
+
+  Occupy(a.chip, len, timing_.program_delta_us, 0, sync, t);
+  stats_.delta_programs++;
+  stats_.delta_bytes_programmed += len;
+  return Status::OK();
+}
+
+Status FlashArray::ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes,
+                              uint32_t len) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  if (offset + len > geo_.oob_size) {
+    return Status::InvalidArgument("OOB write exceeds OOB size");
+  }
+  PageState& page = PageRef(ppn);
+  if (page.oob.empty()) page.oob.assign(geo_.oob_size, 0xFF);
+  for (uint32_t i = 0; i < len; i++) {
+    if ((bytes[i] & page.oob[offset + i]) != bytes[i]) {
+      stats_.ispp_rejections++;
+      return Status::NotSupported("OOB delta requires 0->1 transition (ISPP)");
+    }
+    page.oob[offset + i] = bytes[i];
+  }
+  return Status::OK();
+}
+
+Status FlashArray::ReadOob(Ppn ppn, uint8_t* out, uint32_t len) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  if (len > geo_.oob_size) return Status::InvalidArgument("OOB read too long");
+  const PageState& page = page_state(ppn);
+  if (page.oob.empty()) {
+    std::memset(out, 0xFF, len);
+  } else {
+    std::memcpy(out, page.oob.data(), len);
+  }
+  return Status::OK();
+}
+
+Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
+                               bool sync) {
+  IPA_RETURN_NOT_OK(CheckPpn(ppn));
+  PageState& page = PageRef(ppn);
+  if (page.IsErased()) {
+    return Status::InvalidArgument("refresh of an erased page");
+  }
+  for (uint32_t i = 0; i < geo_.page_size; i++) {
+    if ((data[i] & page.data[i]) != data[i]) {
+      stats_.ispp_rejections++;
+      return Status::NotSupported("refresh requires 0->1 transition (ISPP)");
+    }
+  }
+  std::memcpy(page.data.data(), data, geo_.page_size);
+  PageAddress a = FromPpn(geo_, ppn);
+  bool lsb = IsLsbPage(geo_, a.page);
+  Occupy(a.chip, geo_.page_size,
+         lsb ? timing_.program_lsb_us : timing_.program_msb_us, 0, sync, t);
+  stats_.page_refreshes++;
+  return Status::OK();
+}
+
+Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
+  if (pbn >= geo_.total_blocks()) {
+    return Status::InvalidArgument("pbn out of range");
+  }
+  BlockState& blk = blocks_[pbn];
+  blk.pages.clear();
+  blk.pages.shrink_to_fit();
+  blk.erase_count++;
+  blk.highest_programmed = -1;
+  uint32_t chip = static_cast<uint32_t>(pbn / geo_.blocks_per_chip);
+  Occupy(chip, 0, timing_.erase_us, 0, sync, t);
+  stats_.block_erases++;
+  return Status::OK();
+}
+
+}  // namespace ipa::flash

@@ -1,0 +1,177 @@
+// The emulated NAND flash device.
+//
+// FlashArray models a multi-channel, multi-chip raw NAND device with:
+//  * ISPP program semantics — programming can only increase cell charge,
+//    i.e. data bits can only transition 1 -> 0. An erased page is all 0xFF.
+//    A program that would require any 0 -> 1 transition is rejected.
+//  * program_delta — the paper's write_delta primitive (Section 7): program a
+//    byte sub-range of an already-programmed page. Legal iff the ISPP rule
+//    holds for that range and, on MLC, only on LSB pages (Appendix C.2).
+//  * per-block erase with wear accounting; in-order initial programming of
+//    pages within an MLC block (manufacturer requirement, Appendix C.2);
+//  * bit-error injection: retention leakage (0 -> 1 in stored data, visible
+//    on later reads) and MLC program interference from delta appends, which
+//    lands only in the still-erased regions of neighboring-wordline pages;
+//  * a deterministic service-time model: per-chip and per-channel queueing
+//    against a simulated clock, distinguishing LSB/MSB program latency and
+//    cheap delta programs.
+//
+// FlashArray knows nothing about databases: it stores bytes and enforces
+// flash physics. The NoFTL layer (src/ftl) builds mapping/GC on top.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+
+namespace ipa::flash {
+
+/// Bit-error injection configuration. All rates are per-operation
+/// probabilities; 0 disables the mechanism.
+struct ErrorModel {
+  /// Probability that one stored 0-bit leaks to 1 during a page read
+  /// (retention error; persists in the array until rewritten).
+  double retention_flip_per_read = 0.0;
+  /// Probability, per neighboring-wordline page, that a delta append on an
+  /// MLC LSB page flips one bit in that neighbor's still-erased region
+  /// (program interference, Appendix C.2).
+  double interference_flip_per_delta = 0.0;
+  uint64_t seed = 0x5EED;
+};
+
+/// Raw operation counters maintained by the device.
+struct DeviceStats {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t delta_programs = 0;
+  uint64_t block_erases = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_programmed = 0;        ///< Full-page program payloads.
+  uint64_t delta_bytes_programmed = 0;  ///< write_delta payloads only.
+  uint64_t ispp_rejections = 0;         ///< Programs rejected for 0->1 transitions.
+  uint64_t interference_flips = 0;
+  uint64_t retention_flips = 0;
+  uint64_t page_refreshes = 0;  ///< Correct-and-Refresh reprograms.
+};
+
+/// Completion report of one device operation under the timing model.
+struct IoTiming {
+  SimTime submitted = 0;
+  SimTime completed = 0;
+  uint64_t LatencyUs() const { return completed - submitted; }
+};
+
+/// State of one physical flash page (exposed for tests / introspection).
+struct PageState {
+  std::vector<uint8_t> data;  ///< Empty vector == erased (reads as 0xFF).
+  std::vector<uint8_t> oob;   ///< Empty == erased OOB.
+  uint8_t program_count = 0;  ///< Program operations since the last erase.
+
+  bool IsErased() const { return program_count == 0; }
+};
+
+class FlashArray {
+ public:
+  /// If `clock` is null the device owns a private clock.
+  FlashArray(const Geometry& geometry, const TimingModel& timing,
+             const ErrorModel& errors = {}, SimClock* clock = nullptr);
+
+  const Geometry& geometry() const { return geo_; }
+  const TimingModel& timing() const { return timing_; }
+  SimClock& clock() { return *clock_; }
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+  // -- Data path ------------------------------------------------------------
+  // Every command optionally reports its timing. `sync` operations advance
+  // the shared clock to their completion (the caller blocks on the I/O);
+  // async operations only reserve chip/channel time, so later operations
+  // queue behind them — used for background GC / cleaner writes.
+
+  /// Read a full page into `out` (geometry().page_size bytes).
+  Status ReadPage(Ppn ppn, uint8_t* out, IoTiming* t = nullptr, bool sync = true);
+
+  /// Initial (or ISPP-compatible re-)program of a full page, optionally with
+  /// OOB content. The page's program budget (max_programs_per_page) is
+  /// consumed. MLC blocks require initial programs in increasing page order.
+  Status ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob = nullptr,
+                     uint32_t oob_len = 0, IoTiming* t = nullptr, bool sync = true);
+
+  /// write_delta (Section 7): append `len` bytes at `offset` of an already
+  /// programmed page using ISPP. Rejected on MLC MSB pages, on exhausted
+  /// program budgets, and on any 0->1 bit transition.
+  Status ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta, uint32_t len,
+                      IoTiming* t = nullptr, bool sync = true);
+
+  /// Append bytes into the OOB area under the same ISPP rules. Coalesced
+  /// with the data-path operation it accompanies: no extra simulated time.
+  Status ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes, uint32_t len);
+
+  /// Read the OOB area (transferred together with the page; free).
+  Status ReadOob(Ppn ppn, uint8_t* out, uint32_t len);
+
+  /// Erase a block: all pages become 0xFF, wear counter increments.
+  Status EraseBlock(Pbn pbn, IoTiming* t = nullptr, bool sync = true);
+
+  /// Correct-and-Refresh (Cai et al., discussed in the paper's Section 2.3):
+  /// re-program a page *in place* with `data`, restoring charge levels that
+  /// leaked over time. Legal only when every bit transition is 1 -> 0 (the
+  /// ISPP rule) — which holds for retention errors, since those flip 0 -> 1.
+  /// Does not consume the page's append budget (maintenance operation).
+  Status RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t = nullptr,
+                     bool sync = true);
+
+  // -- Introspection ----------------------------------------------------------
+  const PageState& page_state(Ppn ppn) const;
+  uint32_t EraseCount(Pbn pbn) const;
+  uint64_t TotalEraseOps() const { return stats_.block_erases; }
+  /// Highest erase count across all blocks (wear skew indicator).
+  uint32_t MaxEraseCount() const;
+  /// True once the block exceeded its rated P/E limit.
+  bool IsWornOut(Pbn pbn) const;
+
+ private:
+  struct BlockState {
+    std::vector<PageState> pages;
+    uint32_t erase_count = 0;
+    /// Highest page index that received its initial program since the last
+    /// erase; -1 if none. Enforces in-order programming on MLC.
+    int32_t highest_programmed = -1;
+  };
+
+  struct ChipState {
+    SimTime busy_until = 0;
+  };
+
+  Status CheckPpn(Ppn ppn) const;
+  BlockState& BlockRef(Pbn pbn);
+  const BlockState& BlockRef(Pbn pbn) const;
+  PageState& PageRef(Ppn ppn);
+
+  /// Reserve chip+channel time for an operation; fills `t`.
+  void Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_us,
+              uint64_t post_transfer_bytes, bool sync, IoTiming* t);
+
+  void MaybeInjectRetention(PageState& page);
+  void MaybeInjectInterference(Ppn lsb_ppn);
+
+  Geometry geo_;
+  TimingModel timing_;
+  ErrorModel errors_;
+  std::unique_ptr<SimClock> owned_clock_;
+  SimClock* clock_;
+  Rng rng_;
+  DeviceStats stats_;
+  std::vector<BlockState> blocks_;       // flat, chip-major
+  std::vector<ChipState> chips_;
+  std::vector<SimTime> channel_busy_;    // per channel
+};
+
+}  // namespace ipa::flash

@@ -1,0 +1,71 @@
+// Service-time model for flash operations.
+//
+// Latencies are simulated microseconds. A program on an MLC MSB page is much
+// slower than on its LSB page (the reason pSLC mode also improves latency,
+// Appendix C.2). write_delta programs only a few ISPP pulses worth of cells
+// and transfers only the delta bytes, so it is cheaper than a full program.
+
+#pragma once
+
+#include <cstdint>
+
+#include "flash/geometry.h"
+
+namespace ipa::flash {
+
+/// Latency constants (microseconds) plus bus speed.
+struct TimingModel {
+  uint64_t read_us = 25;          ///< Array sensing time (page read).
+  uint64_t program_lsb_us = 200;  ///< Page program, SLC page or MLC LSB page.
+  uint64_t program_msb_us = 800;  ///< Page program, MLC MSB page.
+  uint64_t erase_us = 1500;       ///< Block erase.
+  /// ISPP in-place append: verifying/boosting already-programmed cells plus
+  /// a short pulse train for the appended cells.
+  uint64_t program_delta_us = 60;
+  /// Channel transfer speed in MB/s (data + OOB cross the bus).
+  uint64_t channel_mb_per_s = 200;
+  /// Per-command fixed bus/firmware overhead.
+  uint64_t command_overhead_us = 5;
+  /// Cap on how far ahead of the current simulated time background (async)
+  /// operations may book a chip. Models bounded outstanding I/O: a cleaner
+  /// or GC submitting past this horizon blocks until the backlog drains.
+  uint64_t max_async_backlog_us = 10000;
+
+  uint64_t TransferUs(uint64_t bytes) const {
+    if (channel_mb_per_s == 0) return 0;
+    return bytes / channel_mb_per_s;  // bytes / (MB/s) == microseconds
+  }
+};
+
+/// SLC timing preset (datasheet-class numbers).
+inline TimingModel SlcTiming() {
+  TimingModel t;
+  t.read_us = 25;
+  t.program_lsb_us = 200;
+  t.program_msb_us = 200;
+  t.erase_us = 1500;
+  t.program_delta_us = 60;
+  return t;
+}
+
+/// MLC timing preset: slower reads, much slower MSB programs, slower erase.
+inline TimingModel MlcTiming() {
+  TimingModel t;
+  t.read_us = 50;
+  t.program_lsb_us = 220;
+  t.program_msb_us = 900;
+  t.erase_us = 2500;
+  t.program_delta_us = 80;
+  return t;
+}
+
+inline TimingModel TimingFor(CellType cell) {
+  switch (cell) {
+    case CellType::kSlc: return SlcTiming();
+    case CellType::kMlc: return MlcTiming();
+    case CellType::kTlc3d: return MlcTiming();
+  }
+  return SlcTiming();
+}
+
+}  // namespace ipa::flash

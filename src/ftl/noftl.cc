@@ -1,0 +1,620 @@
+#include "ftl/noftl.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "flash/ecc.h"
+
+namespace ipa::ftl {
+
+namespace {
+/// OOB slot entry for one appended delta: offset(2) + len(2) + ECC(6).
+constexpr uint32_t kSlotBytes = 10;
+constexpr uint32_t kSlotEccBytes = 6;  // covers deltas up to 512 bytes
+}  // namespace
+
+const char* IpaModeName(IpaMode m) {
+  switch (m) {
+    case IpaMode::kOff: return "off";
+    case IpaMode::kSlc: return "SLC";
+    case IpaMode::kPSlc: return "pSLC";
+    case IpaMode::kOddMlc: return "odd-MLC";
+  }
+  return "?";
+}
+
+NoFtl::NoFtl(flash::FlashArray* device) : device_(device) {
+  const auto& g = device_->geometry();
+  device_free_.resize(g.total_chips());
+  for (flash::Pbn b = 0; b < g.total_blocks(); b++) {
+    device_free_[b / g.blocks_per_chip].push_back(b);
+  }
+}
+
+uint32_t NoFtl::UsablePagesPerBlock(const Region& reg) const {
+  const auto& g = device_->geometry();
+  if (reg.config.ipa_mode == IpaMode::kPSlc &&
+      g.cell_type == flash::CellType::kMlc) {
+    return g.pages_per_block / 2;  // LSB pages only
+  }
+  return g.pages_per_block;
+}
+
+uint32_t NoFtl::UsablePage(const Region& reg, uint32_t i) const {
+  const auto& g = device_->geometry();
+  if (reg.config.ipa_mode == IpaMode::kPSlc &&
+      g.cell_type == flash::CellType::kMlc) {
+    return 2 * i;  // even in-block indices are LSB pages
+  }
+  return i;
+}
+
+Result<RegionId> NoFtl::CreateRegion(const RegionConfig& config) {
+  const auto& g = device_->geometry();
+  if (config.logical_pages == 0) {
+    return Status::InvalidArgument("region needs logical_pages > 0");
+  }
+  if (config.ipa_mode != IpaMode::kOff) {
+    if (config.delta_area_offset == 0 || config.delta_area_offset >= g.page_size) {
+      return Status::InvalidArgument(
+          "IPA region needs delta_area_offset in (0, page_size)");
+    }
+    if (config.ipa_mode == IpaMode::kSlc && g.cell_type != flash::CellType::kSlc &&
+        g.cell_type != flash::CellType::kTlc3d) {
+      return Status::InvalidArgument("IpaMode::kSlc requires SLC/3D flash");
+    }
+    if ((config.ipa_mode == IpaMode::kPSlc || config.ipa_mode == IpaMode::kOddMlc) &&
+        g.cell_type != flash::CellType::kMlc) {
+      return Status::InvalidArgument("pSLC/odd-MLC modes require MLC flash");
+    }
+  }
+  if (config.manage_ecc) {
+    uint32_t body = config.delta_area_offset ? config.delta_area_offset : g.page_size;
+    uint32_t initial = static_cast<uint32_t>(flash::EccRegionBytes(body));
+    if (initial + kSlotBytes > g.oob_size && config.ipa_mode != IpaMode::kOff) {
+      return Status::InvalidArgument("OOB too small for managed ECC + delta slots");
+    }
+  }
+
+  Region reg;
+  reg.config = config;
+  reg.chips = config.chips;
+  if (reg.chips.empty()) {
+    for (uint32_t c = 0; c < g.total_chips(); c++) reg.chips.push_back(c);
+  }
+  for (uint32_t c : reg.chips) {
+    if (c >= g.total_chips()) return Status::InvalidArgument("chip id out of range");
+  }
+
+  uint32_t usable = 0;
+  {
+    // UsablePagesPerBlock needs the config already in place.
+    usable = g.pages_per_block;
+    if (config.ipa_mode == IpaMode::kPSlc && g.cell_type == flash::CellType::kMlc) {
+      usable = g.pages_per_block / 2;
+    }
+  }
+  uint64_t physical_pages_needed = static_cast<uint64_t>(
+      static_cast<double>(config.logical_pages) * (1.0 + config.over_provisioning));
+  uint64_t blocks_needed =
+      (physical_pages_needed + usable - 1) / usable + config.gc_free_block_threshold + 1;
+  // Small regions striped over many chips need enough blocks that GC always
+  // has both victims and migration headroom.
+  uint64_t chip_count =
+      config.chips.empty() ? g.total_chips() : config.chips.size();
+  blocks_needed = std::max(blocks_needed,
+                           2 * chip_count + config.gc_free_block_threshold);
+
+  // Claim blocks round-robin over the region's chips.
+  std::vector<flash::Pbn> claimed;
+  uint32_t cursor = 0;
+  uint32_t empty_chips = 0;
+  while (claimed.size() < blocks_needed && empty_chips < reg.chips.size()) {
+    uint32_t chip = reg.chips[cursor % reg.chips.size()];
+    cursor++;
+    auto& pool = device_free_[chip];
+    if (pool.empty()) {
+      empty_chips++;
+      continue;
+    }
+    empty_chips = 0;
+    claimed.push_back(pool.front());
+    pool.pop_front();
+  }
+  if (claimed.size() < blocks_needed) {
+    // Return what we took.
+    for (flash::Pbn b : claimed) device_free_[b / g.blocks_per_chip].push_back(b);
+    return Status::OutOfSpace("not enough free device blocks for region '" +
+                              config.name + "'");
+  }
+
+  reg.blocks.reserve(claimed.size());
+  for (uint32_t i = 0; i < claimed.size(); i++) {
+    BlockInfo bi;
+    bi.pbn = claimed[i];
+    reg.blocks.push_back(bi);
+    reg.free_blocks.push_back(i);
+    reg.pbn_to_idx[claimed[i]] = i;
+  }
+  reg.active_by_chip.assign(reg.chips.size(), -1);
+  reg.map.assign(config.logical_pages, flash::kInvalidPpn);
+  reg.rmap.assign(reg.blocks.size() * static_cast<size_t>(g.pages_per_block),
+                  kInvalidLba);
+
+  regions_.push_back(std::move(reg));
+  RegionId id = static_cast<RegionId>(regions_.size() - 1);
+  region_devices_.emplace_back(this, id);
+  return id;
+}
+
+PageDevice* NoFtl::region_device(RegionId r) { return &region_devices_[r]; }
+
+uint32_t NoFtl::BlockIndexOf(const Region& reg, flash::Ppn ppn) const {
+  flash::Pbn pbn = flash::BlockOf(device_->geometry(), ppn);
+  auto it = reg.pbn_to_idx.find(pbn);
+  return it == reg.pbn_to_idx.end() ? UINT32_MAX : it->second;
+}
+
+void NoFtl::Invalidate(Region& reg, flash::Ppn ppn) {
+  const auto& g = device_->geometry();
+  uint32_t bidx = BlockIndexOf(reg, ppn);
+  if (bidx == UINT32_MAX) return;
+  uint32_t page = static_cast<uint32_t>(ppn % g.pages_per_block);
+  size_t ridx = static_cast<size_t>(bidx) * g.pages_per_block + page;
+  if (reg.rmap[ridx] != kInvalidLba) {
+    reg.rmap[ridx] = kInvalidLba;
+    if (reg.blocks[bidx].valid > 0) reg.blocks[bidx].valid--;
+  }
+}
+
+Status NoFtl::AllocatePage(Region& reg, flash::Ppn* ppn, uint32_t* block_idx,
+                           bool for_gc) {
+  const auto& g = device_->geometry();
+  uint32_t usable = UsablePagesPerBlock(reg);
+  for (uint32_t attempt = 0; attempt < reg.chips.size(); attempt++) {
+    uint32_t pos = reg.rr_cursor % reg.chips.size();
+    reg.rr_cursor++;
+    int32_t active = reg.active_by_chip[pos];
+    if (active < 0 || reg.blocks[active].next_page >= usable) {
+      if (active >= 0) reg.blocks[active].is_active = false;
+      // Promote the least-worn free block on this chip to active. Host
+      // allocations must leave at least one free block for GC migrations.
+      if (!for_gc && reg.free_blocks.size() <= 1) {
+        reg.active_by_chip[pos] = -1;
+        continue;
+      }
+      uint32_t chip = reg.chips[pos];
+      int best = -1;
+      uint32_t best_wear = UINT32_MAX;
+      for (size_t i = 0; i < reg.free_blocks.size(); i++) {
+        uint32_t bi = reg.free_blocks[i];
+        if (reg.blocks[bi].pbn / g.blocks_per_chip != chip) continue;
+        uint32_t wear = device_->EraseCount(reg.blocks[bi].pbn);
+        if (wear < best_wear) {
+          best_wear = wear;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        reg.active_by_chip[pos] = -1;
+        continue;  // no free block on this chip; try the next chip
+      }
+      uint32_t bi = reg.free_blocks[best];
+      reg.free_blocks.erase(reg.free_blocks.begin() + best);
+      reg.blocks[bi].is_free = false;
+      reg.blocks[bi].is_active = true;
+      reg.blocks[bi].next_page = 0;
+      reg.active_by_chip[pos] = static_cast<int32_t>(bi);
+      active = static_cast<int32_t>(bi);
+    }
+    BlockInfo& blk = reg.blocks[active];
+    uint32_t page_in_block = UsablePage(reg, blk.next_page);
+    blk.next_page++;
+    *ppn = blk.pbn * g.pages_per_block + page_in_block;
+    *block_idx = static_cast<uint32_t>(active);
+    return Status::OK();
+  }
+  return Status::OutOfSpace("region '" + reg.config.name + "' has no free pages");
+}
+
+Status NoFtl::RunGcIfNeeded(Region& reg) {
+  while (reg.free_blocks.size() < reg.config.gc_free_block_threshold) {
+    Status s = GarbageCollect(reg);
+    if (!s.ok()) return s.IsNotFound() ? Status::OK() : s;
+  }
+  return Status::OK();
+}
+
+Status NoFtl::GarbageCollect(Region& reg) {
+  const auto& g = device_->geometry();
+  uint32_t usable = UsablePagesPerBlock(reg);
+  // Greedy victim selection: the non-active block with the most reclaimable
+  // (written-but-invalid) pages. Partially-written blocks qualify too —
+  // required when a small region's blocks all fill in lockstep.
+  int victim = -1;
+  uint32_t max_reclaim = 0;
+  for (uint32_t i = 0; i < reg.blocks.size(); i++) {
+    const BlockInfo& b = reg.blocks[i];
+    if (b.is_free || b.is_active) continue;
+    uint32_t written = std::min(b.next_page, usable);
+    uint32_t reclaim = written - b.valid;
+    if (reclaim > max_reclaim) {
+      max_reclaim = reclaim;
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim < 0) {
+    return Status::NotFound("no GC victim available");
+  }
+  BlockInfo& vb = reg.blocks[victim];
+
+  // Migrate valid pages (device-internal I/O: no host transfer, async).
+  std::vector<uint8_t> buf(g.page_size);
+  std::vector<uint8_t> oob(g.oob_size);
+  for (uint32_t i = 0; i < usable; i++) {
+    uint32_t page = UsablePage(reg, i);
+    size_t ridx = static_cast<size_t>(victim) * g.pages_per_block + page;
+    Lba lba = reg.rmap[ridx];
+    if (lba == kInvalidLba) continue;
+    flash::Ppn old_ppn = vb.pbn * g.pages_per_block + page;
+    IPA_RETURN_NOT_OK(device_->ReadPage(old_ppn, buf.data(), nullptr, false));
+    IPA_RETURN_NOT_OK(device_->ReadOob(old_ppn, oob.data(), g.oob_size));
+
+    flash::Ppn new_ppn;
+    uint32_t new_bidx;
+    IPA_RETURN_NOT_OK(AllocatePage(reg, &new_ppn, &new_bidx, /*for_gc=*/true));
+    const uint8_t* oob_src = reg.config.manage_ecc ? oob.data() : nullptr;
+    IPA_RETURN_NOT_OK(device_->ProgramPage(new_ppn, buf.data(), oob_src,
+                                           oob_src ? g.oob_size : 0, nullptr,
+                                           false));
+    reg.rmap[ridx] = kInvalidLba;
+    vb.valid--;
+    size_t nidx = static_cast<size_t>(new_bidx) * g.pages_per_block +
+                  (new_ppn % g.pages_per_block);
+    reg.rmap[nidx] = lba;
+    reg.blocks[new_bidx].valid++;
+    reg.map[lba] = new_ppn;
+    reg.stats.gc_page_migrations++;
+  }
+
+  IPA_RETURN_NOT_OK(device_->EraseBlock(vb.pbn, nullptr, false));
+  vb.is_free = true;
+  vb.next_page = 0;
+  vb.valid = 0;
+  reg.free_blocks.push_back(static_cast<uint32_t>(victim));
+  reg.stats.gc_erases++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: Correct-and-Refresh scrubbing + static wear leveling
+// ---------------------------------------------------------------------------
+
+Status NoFtl::ScrubRegion(RegionId r, bool refresh_all) {
+  Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  std::vector<uint8_t> buf(g.page_size);
+  for (Lba lba = 0; lba < reg.map.size(); lba++) {
+    flash::Ppn ppn = reg.map[lba];
+    if (ppn == flash::kInvalidPpn) continue;
+    IPA_RETURN_NOT_OK(device_->ReadPage(ppn, buf.data(), nullptr, false));
+    bool corrected = false;
+    if (reg.config.manage_ecc) {
+      uint64_t before = reg.stats.ecc_corrected_bits;
+      Status s = VerifyEcc(reg, ppn, buf.data());
+      if (s.IsCorruption()) continue;  // beyond repair; GC/rewrite will fix
+      IPA_RETURN_NOT_OK(s);
+      corrected = reg.stats.ecc_corrected_bits > before;
+    }
+    if (corrected || refresh_all) {
+      Status s = device_->RefreshPage(ppn, buf.data(), nullptr, false);
+      if (s.IsNotSupported()) continue;  // interference-cleared bit: skip
+      IPA_RETURN_NOT_OK(s);
+      reg.stats.scrub_refreshes++;
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t NoFtl::EraseSpread(RegionId r) const {
+  const Region& reg = regions_[r];
+  uint32_t min = UINT32_MAX, max = 0;
+  for (const BlockInfo& b : reg.blocks) {
+    uint32_t e = device_->EraseCount(b.pbn);
+    min = std::min(min, e);
+    max = std::max(max, e);
+  }
+  return min == UINT32_MAX ? 0 : max - min;
+}
+
+Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
+  Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  if (EraseSpread(r) <= max_spread) return Status::OK();
+
+  // Coldest data-bearing block and the most-worn free block.
+  int cold = -1, worn_free = -1;
+  uint32_t cold_erases = UINT32_MAX, worn_erases = 0;
+  for (uint32_t i = 0; i < reg.blocks.size(); i++) {
+    const BlockInfo& b = reg.blocks[i];
+    uint32_t e = device_->EraseCount(b.pbn);
+    if (b.is_free) {
+      if (e >= worn_erases) {
+        worn_erases = e;
+        worn_free = static_cast<int>(i);
+      }
+    } else if (!b.is_active && e < cold_erases) {
+      cold_erases = e;
+      cold = static_cast<int>(i);
+    }
+  }
+  if (cold < 0 || worn_free < 0 || worn_erases <= cold_erases) {
+    return Status::OK();  // nothing useful to swap
+  }
+
+  BlockInfo& cb = reg.blocks[cold];
+  BlockInfo& wb = reg.blocks[worn_free];
+  // Move the cold block's valid pages to the same in-block positions of the
+  // worn block (ascending order satisfies MLC in-order programming).
+  std::vector<uint8_t> buf(g.page_size);
+  std::vector<uint8_t> oob(g.oob_size);
+  uint32_t usable = UsablePagesPerBlock(reg);
+  for (uint32_t i = 0; i < usable; i++) {
+    uint32_t page = UsablePage(reg, i);
+    size_t cidx = static_cast<size_t>(cold) * g.pages_per_block + page;
+    Lba lba = reg.rmap[cidx];
+    if (lba == kInvalidLba) continue;
+    flash::Ppn src = cb.pbn * g.pages_per_block + page;
+    flash::Ppn dst = wb.pbn * g.pages_per_block + page;
+    IPA_RETURN_NOT_OK(device_->ReadPage(src, buf.data(), nullptr, false));
+    IPA_RETURN_NOT_OK(device_->ReadOob(src, oob.data(), g.oob_size));
+    const uint8_t* oob_src = reg.config.manage_ecc ? oob.data() : nullptr;
+    IPA_RETURN_NOT_OK(device_->ProgramPage(dst, buf.data(), oob_src,
+                                           oob_src ? g.oob_size : 0, nullptr,
+                                           false));
+    size_t widx = static_cast<size_t>(worn_free) * g.pages_per_block + page;
+    reg.rmap[widx] = lba;
+    reg.rmap[cidx] = kInvalidLba;
+    reg.map[lba] = dst;
+    reg.stats.wear_level_migrations++;
+  }
+  wb.is_free = false;
+  wb.valid = cb.valid;
+  wb.next_page = cb.next_page;
+  // Remove the worn block from the free list; the cold block replaces it.
+  for (size_t i = 0; i < reg.free_blocks.size(); i++) {
+    if (reg.free_blocks[i] == static_cast<uint32_t>(worn_free)) {
+      reg.free_blocks.erase(reg.free_blocks.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  IPA_RETURN_NOT_OK(device_->EraseBlock(cb.pbn, nullptr, false));
+  cb.is_free = true;
+  cb.valid = 0;
+  cb.next_page = 0;
+  reg.free_blocks.push_back(static_cast<uint32_t>(cold));
+  reg.stats.wear_level_swaps++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Managed ECC (OOB layout: [ECC_initial][slot 0][slot 1]...)
+// ---------------------------------------------------------------------------
+
+Status NoFtl::WriteInitialEcc(Region& reg, flash::Ppn ppn, const uint8_t* data) {
+  const auto& g = device_->geometry();
+  uint32_t body = reg.config.delta_area_offset ? reg.config.delta_area_offset
+                                               : g.page_size;
+  std::vector<uint8_t> ecc = flash::EccEncodeRegion(data, body);
+  return device_->ProgramOob(ppn, 0, ecc.data(), static_cast<uint32_t>(ecc.size()));
+}
+
+Status NoFtl::AppendDeltaEcc(Region& reg, flash::Ppn ppn, uint32_t slot,
+                             uint32_t offset, const uint8_t* bytes, uint32_t len) {
+  const auto& g = device_->geometry();
+  uint32_t body = reg.config.delta_area_offset ? reg.config.delta_area_offset
+                                               : g.page_size;
+  uint32_t base = static_cast<uint32_t>(flash::EccRegionBytes(body)) +
+                  slot * kSlotBytes;
+  if (base + kSlotBytes > g.oob_size) {
+    return Status::OutOfSpace("no free OOB ECC slot");
+  }
+  uint8_t entry[kSlotBytes];
+  EncodeU16(entry, static_cast<uint16_t>(offset));
+  EncodeU16(entry + 2, static_cast<uint16_t>(len));
+  std::vector<uint8_t> ecc = flash::EccEncodeRegion(bytes, len);
+  ecc.resize(kSlotEccBytes, 0xFF);  // pad unused ECC bytes as erased
+  std::memcpy(entry + 4, ecc.data(), kSlotEccBytes);
+  return device_->ProgramOob(ppn, base, entry, kSlotBytes);
+}
+
+Status NoFtl::VerifyEcc(Region& reg, flash::Ppn ppn, uint8_t* data) {
+  const auto& g = device_->geometry();
+  uint32_t body = reg.config.delta_area_offset ? reg.config.delta_area_offset
+                                               : g.page_size;
+  std::vector<uint8_t> oob(g.oob_size);
+  IPA_RETURN_NOT_OK(device_->ReadOob(ppn, oob.data(), g.oob_size));
+  uint32_t initial_bytes = static_cast<uint32_t>(flash::EccRegionBytes(body));
+
+  uint64_t corrected = 0;
+  flash::EccResult r = flash::EccCheckRegion(data, body, oob.data(), initial_bytes,
+                                             &corrected);
+  if (r == flash::EccResult::kUncorrectable) {
+    reg.stats.ecc_uncorrectable++;
+    return Status::Corruption("uncorrectable ECC error in page body");
+  }
+  // Verify every appended delta slot.
+  for (uint32_t base = initial_bytes; base + kSlotBytes <= g.oob_size;
+       base += kSlotBytes) {
+    uint16_t offset = DecodeU16(&oob[base]);
+    uint16_t len = DecodeU16(&oob[base + 2]);
+    if (offset == 0xFFFF && len == 0xFFFF) break;  // erased slot: no more deltas
+    if (offset + len > g.page_size || len == 0) {
+      reg.stats.ecc_uncorrectable++;
+      return Status::Corruption("damaged delta ECC slot");
+    }
+    flash::EccResult dr = flash::EccCheckRegion(
+        data + offset, len, &oob[base + 4],
+        flash::EccRegionBytes(len), &corrected);
+    if (dr == flash::EccResult::kUncorrectable) {
+      reg.stats.ecc_uncorrectable++;
+      return Status::Corruption("uncorrectable ECC error in delta record");
+    }
+  }
+  reg.stats.ecc_corrected_bits += corrected;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Host commands
+// ---------------------------------------------------------------------------
+
+Status NoFtl::ReadPage(RegionId r, Lba lba, uint8_t* out) {
+  Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  if (lba >= reg.map.size()) return Status::InvalidArgument("lba out of range");
+  reg.stats.host_reads++;
+  flash::Ppn ppn = reg.map[lba];
+  if (ppn == flash::kInvalidPpn) {
+    std::memset(out, 0xFF, g.page_size);
+    return Status::OK();
+  }
+  flash::IoTiming t;
+  IPA_RETURN_NOT_OK(device_->ReadPage(ppn, out, &t, true));
+  reg.stats.read_latency.Add(t.LatencyUs());
+  if (reg.config.manage_ecc) {
+    IPA_RETURN_NOT_OK(VerifyEcc(reg, ppn, out));
+  }
+  return Status::OK();
+}
+
+Status NoFtl::WritePage(RegionId r, Lba lba, const uint8_t* data, bool sync) {
+  Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  if (lba >= reg.map.size()) return Status::InvalidArgument("lba out of range");
+  IPA_RETURN_NOT_OK(RunGcIfNeeded(reg));
+
+  flash::Ppn ppn;
+  uint32_t bidx;
+  IPA_RETURN_NOT_OK(AllocatePage(reg, &ppn, &bidx));
+  flash::IoTiming t;
+  IPA_RETURN_NOT_OK(device_->ProgramPage(ppn, data, nullptr, 0, &t, sync));
+  if (reg.config.manage_ecc) {
+    IPA_RETURN_NOT_OK(WriteInitialEcc(reg, ppn, data));
+  }
+
+  flash::Ppn old = reg.map[lba];
+  if (old != flash::kInvalidPpn) Invalidate(reg, old);
+  reg.map[lba] = ppn;
+  size_t ridx = static_cast<size_t>(bidx) * g.pages_per_block +
+                (ppn % g.pages_per_block);
+  reg.rmap[ridx] = lba;
+  reg.blocks[bidx].valid++;
+
+  reg.stats.host_page_writes++;
+  reg.stats.write_latency.Add(t.LatencyUs());
+  return Status::OK();
+}
+
+Status NoFtl::WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* bytes,
+                         uint32_t len, bool sync) {
+  Region& reg = regions_[r];
+  if (lba >= reg.map.size()) return Status::InvalidArgument("lba out of range");
+  if (reg.config.ipa_mode == IpaMode::kOff) {
+    return Status::NotSupported("region has IPA disabled");
+  }
+  flash::Ppn ppn = reg.map[lba];
+  if (ppn == flash::kInvalidPpn) {
+    return Status::InvalidArgument("write_delta on unwritten logical page");
+  }
+  const auto& g = device_->geometry();
+  uint32_t page_in_block = static_cast<uint32_t>(ppn % g.pages_per_block);
+  if (reg.config.ipa_mode == IpaMode::kOddMlc &&
+      !flash::IsLsbPage(g, page_in_block)) {
+    reg.stats.delta_fallbacks++;
+    return Status::NotSupported("logical page resides on an MSB flash page");
+  }
+  uint32_t slot = 0;
+  if (reg.config.manage_ecc) {
+    // Find the first erased slot (survives GC migrations, which copy OOB).
+    uint32_t body = reg.config.delta_area_offset;
+    uint32_t initial_bytes = static_cast<uint32_t>(flash::EccRegionBytes(body));
+    std::vector<uint8_t> oob(g.oob_size);
+    IPA_RETURN_NOT_OK(device_->ReadOob(ppn, oob.data(), g.oob_size));
+    bool found = false;
+    for (uint32_t base = initial_bytes; base + kSlotBytes <= g.oob_size;
+         base += kSlotBytes, slot++) {
+      if (DecodeU16(&oob[base]) == 0xFFFF && DecodeU16(&oob[base + 2]) == 0xFFFF) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      reg.stats.delta_fallbacks++;
+      return Status::NotSupported("no free OOB ECC slot for delta");
+    }
+  }
+
+  flash::IoTiming t;
+  Status s = device_->ProgramDelta(ppn, offset, bytes, len, &t, sync);
+  if (!s.ok()) {
+    if (s.IsNotSupported()) reg.stats.delta_fallbacks++;
+    return s;
+  }
+  if (reg.config.manage_ecc) {
+    IPA_RETURN_NOT_OK(AppendDeltaEcc(reg, ppn, slot, offset, bytes, len));
+  }
+  reg.stats.host_delta_writes++;
+  reg.stats.delta_bytes_written += len;
+  reg.stats.delta_write_latency.Add(t.LatencyUs());
+  return Status::OK();
+}
+
+bool NoFtl::DeltaWritePossible(RegionId r, Lba lba) const {
+  const Region& reg = regions_[r];
+  if (reg.config.ipa_mode == IpaMode::kOff) return false;
+  if (lba >= reg.map.size()) return false;
+  flash::Ppn ppn = reg.map[lba];
+  if (ppn == flash::kInvalidPpn) return false;
+  const auto& g = device_->geometry();
+  uint32_t page_in_block = static_cast<uint32_t>(ppn % g.pages_per_block);
+  if (reg.config.ipa_mode == IpaMode::kOddMlc &&
+      !flash::IsLsbPage(g, page_in_block)) {
+    return false;
+  }
+  const flash::PageState& ps = device_->page_state(ppn);
+  return ps.program_count >= 1 && ps.program_count < g.max_programs_per_page;
+}
+
+uint32_t NoFtl::DeltaAppendsRemaining(RegionId r, Lba lba) const {
+  if (!DeltaWritePossible(r, lba)) return 0;
+  const Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  const flash::PageState& ps = device_->page_state(reg.map[lba]);
+  return g.max_programs_per_page - ps.program_count;
+}
+
+Status NoFtl::Trim(RegionId r, Lba lba) {
+  Region& reg = regions_[r];
+  if (lba >= reg.map.size()) return Status::InvalidArgument("lba out of range");
+  flash::Ppn old = reg.map[lba];
+  if (old != flash::kInvalidPpn) {
+    Invalidate(reg, old);
+    reg.map[lba] = flash::kInvalidPpn;
+  }
+  return Status::OK();
+}
+
+bool NoFtl::IsMapped(RegionId r, Lba lba) const {
+  const Region& reg = regions_[r];
+  return lba < reg.map.size() && reg.map[lba] != flash::kInvalidPpn;
+}
+
+flash::Ppn NoFtl::PhysicalOf(RegionId r, Lba lba) const {
+  const Region& reg = regions_[r];
+  if (lba >= reg.map.size()) return flash::kInvalidPpn;
+  return reg.map[lba];
+}
+
+}  // namespace ipa::ftl

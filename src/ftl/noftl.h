@@ -1,0 +1,271 @@
+// NoFTL: DBMS-integrated management of raw flash (Section 5).
+//
+// Instead of hiding flash behind a black-box FTL, NoFTL gives the DBMS
+// direct control over the device through *Regions*. A region owns a set of
+// physical blocks, carries its own logical-page address space, mapping
+// table, garbage collector and over-provisioning, and is configured with an
+// IPA mode:
+//
+//   kOff     traditional out-of-place page writes only;
+//   kSlc     write_delta allowed on every page (SLC flash);
+//   kPSlc    MLC used in pseudo-SLC mode: only LSB pages are allocated
+//            (half capacity, faster programs), write_delta on all of them;
+//   kOddMlc  full MLC capacity; write_delta only on LSB pages, MSB-mapped
+//            logical pages silently fall back to out-of-place writes.
+//
+// The host interface is the paper's Section 7 command set: read_page,
+// write_page (always out-of-place), write_delta (in-place append via ISPP)
+// and trim, plus statistics the evaluation tables are built from.
+//
+// ECC (Section 6.2, first alternative): when a region is created with
+// `manage_ecc`, the FTL computes a SmartMedia-Hamming ECC over the page body
+// on every out-of-place write (ECC_initial) and over every appended delta
+// (ECC_delta_i), stores them in the page's OOB area via ISPP appends, and
+// verifies/corrects on every read.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "flash/flash_array.h"
+#include "ftl/page_device.h"
+
+namespace ipa::ftl {
+
+/// Logical page address within one region (see page_device.h).
+constexpr Lba kInvalidLba = ~0ull;
+
+/// IPA capability of a region (see file header).
+enum class IpaMode { kOff, kSlc, kPSlc, kOddMlc };
+
+const char* IpaModeName(IpaMode m);
+
+/// CREATE REGION ... parameters (Figure 3).
+struct RegionConfig {
+  std::string name = "default";
+  /// Host-visible capacity in logical pages.
+  uint64_t logical_pages = 0;
+  /// Fraction of extra physical space for out-of-place writes / GC headroom.
+  double over_provisioning = 0.10;
+  IpaMode ipa_mode = IpaMode::kOff;
+  /// Byte offset where the delta-record area starts on every page of this
+  /// region; ECC_initial covers [0, delta_area_offset). Use page_size when
+  /// IPA is off.
+  uint32_t delta_area_offset = 0;
+  /// Chips this region may allocate from (MAX_CHIPS / MAX_CHANNELS in the
+  /// DDL). Empty = all chips.
+  std::vector<uint32_t> chips;
+  /// Run the garbage collector when free blocks drop below this count.
+  uint32_t gc_free_block_threshold = 3;
+  /// Compute/verify DBMS-side ECC in the OOB area.
+  bool manage_ecc = false;
+};
+
+/// Per-region I/O statistics; the raw material for the paper's tables.
+struct RegionStats {
+  uint64_t host_reads = 0;         ///< read_page commands.
+  uint64_t host_page_writes = 0;   ///< Out-of-place page writes.
+  uint64_t host_delta_writes = 0;  ///< In-place appends (write_delta).
+  uint64_t delta_bytes_written = 0;
+  uint64_t delta_fallbacks = 0;    ///< write_delta rejected -> caller wrote page.
+  uint64_t gc_page_migrations = 0;
+  uint64_t gc_erases = 0;
+  uint64_t ecc_corrected_bits = 0;
+  uint64_t ecc_uncorrectable = 0;
+  uint64_t scrub_refreshes = 0;         ///< Correct-and-Refresh reprograms.
+  uint64_t wear_level_migrations = 0;   ///< Static wear-leveling page moves.
+  uint64_t wear_level_swaps = 0;        ///< Cold-block/worn-block exchanges.
+  LatencyStats read_latency;
+  LatencyStats write_latency;        ///< Out-of-place page writes.
+  LatencyStats delta_write_latency;  ///< write_delta appends.
+
+  uint64_t HostWrites() const { return host_page_writes + host_delta_writes; }
+  double MigrationsPerHostWrite() const {
+    return HostWrites() == 0 ? 0.0
+                             : static_cast<double>(gc_page_migrations) /
+                                   static_cast<double>(HostWrites());
+  }
+  double ErasesPerHostWrite() const {
+    return HostWrites() == 0 ? 0.0
+                             : static_cast<double>(gc_erases) /
+                                   static_cast<double>(HostWrites());
+  }
+  /// Share of host writes served as in-place appends, in percent.
+  double IpaSharePercent() const {
+    return HostWrites() == 0 ? 0.0
+                             : 100.0 * static_cast<double>(host_delta_writes) /
+                                   static_cast<double>(HostWrites());
+  }
+};
+
+/// Handle to a created region.
+using RegionId = uint32_t;
+
+class NoFtl {
+ public:
+  /// The device must outlive the NoFtl instance.
+  explicit NoFtl(flash::FlashArray* device);
+
+  /// Create a region; claims physical blocks from the device pool.
+  Result<RegionId> CreateRegion(const RegionConfig& config);
+
+  const RegionConfig& region_config(RegionId r) const { return regions_[r].config; }
+  const RegionStats& region_stats(RegionId r) const { return regions_[r].stats; }
+  void ResetStats(RegionId r) { regions_[r].stats = RegionStats{}; }
+  size_t region_count() const { return regions_.size(); }
+
+  flash::FlashArray& device() { return *device_; }
+  SimClock& clock() { return device_->clock(); }
+
+  // -- Host command set (Section 7) ----------------------------------------
+
+  /// Read a logical page into `out` (page_size bytes). Pages never written
+  /// read as 0xFF. Runs ECC verify/correct when the region manages ECC.
+  Status ReadPage(RegionId r, Lba lba, uint8_t* out);
+
+  /// Out-of-place write of a full logical page: allocates a fresh physical
+  /// page, programs it, invalidates the previous version, may trigger GC.
+  /// `sync=false` models background (cleaner) writes that reserve device
+  /// time without blocking the simulated host.
+  Status WritePage(RegionId r, Lba lba, const uint8_t* data, bool sync = true);
+
+  /// write_delta(LBA, offset, delta_length, delta_bytes[]) — append a
+  /// delta-record in place on the physical page currently holding `lba`.
+  /// Returns NotSupported when the region/page cannot take the append (IPA
+  /// off, MSB page in odd-MLC mode, program budget exhausted, ISPP
+  /// violation); the caller is expected to fall back to WritePage.
+  Status WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* bytes,
+                    uint32_t len, bool sync = true);
+
+  /// Whether write_delta can currently succeed on this logical page (mode,
+  /// page type and remaining program budget). Lets the buffer manager decide
+  /// the write path before serializing delta-records.
+  bool DeltaWritePossible(RegionId r, Lba lba) const;
+
+  /// Number of delta appends still available on the physical page currently
+  /// backing `lba` (0 when IPA is impossible there).
+  uint32_t DeltaAppendsRemaining(RegionId r, Lba lba) const;
+
+  /// Drop the mapping of a logical page (e.g. file truncation).
+  Status Trim(RegionId r, Lba lba);
+
+  // -- Maintenance (background) ----------------------------------------------
+
+  /// Correct-and-Refresh scrub (paper Section 2.3): read every mapped page,
+  /// ECC-correct it (regions with manage_ecc), and — when bits had leaked —
+  /// re-program the corrected image onto the *same* physical page with ISPP,
+  /// restoring cell charge without an erase. With `refresh_all` every page
+  /// is refreshed even if currently clean (periodic-scrub mode for regions
+  /// without managed ECC).
+  Status ScrubRegion(RegionId r, bool refresh_all = false);
+
+  /// Static wear leveling: when the erase-count spread across the region's
+  /// blocks exceeds `max_spread`, migrate the content of the coldest
+  /// (least-erased, data-bearing) block into the most-worn free block so
+  /// future erases land on rested cells. One swap per call.
+  Status WearLevelRegion(RegionId r, uint32_t max_spread = 8);
+
+  /// Erase-count spread (max - min) across the region's blocks.
+  uint32_t EraseSpread(RegionId r) const;
+
+  /// True if the logical page has ever been written.
+  bool IsMapped(RegionId r, Lba lba) const;
+
+  /// Physical page currently backing `lba` (tests / introspection).
+  flash::Ppn PhysicalOf(RegionId r, Lba lba) const;
+
+  /// PageDevice view of one region (what the engine programs against).
+  /// The returned pointer is owned by the NoFtl and valid for its lifetime.
+  PageDevice* region_device(RegionId r);
+
+ private:
+  /// Adapts (NoFtl, RegionId) to the PageDevice interface.
+  class RegionDevice : public PageDevice {
+   public:
+    RegionDevice(NoFtl* ftl, RegionId region) : ftl_(ftl), region_(region) {}
+    Status ReadPage(Lba lba, uint8_t* out) override {
+      return ftl_->ReadPage(region_, lba, out);
+    }
+    Status WritePage(Lba lba, const uint8_t* data, bool sync) override {
+      return ftl_->WritePage(region_, lba, data, sync);
+    }
+    Status WriteDelta(Lba lba, uint32_t offset, const uint8_t* bytes,
+                      uint32_t len, bool sync) override {
+      return ftl_->WriteDelta(region_, lba, offset, bytes, len, sync);
+    }
+    bool DeltaWritePossible(Lba lba) const override {
+      return ftl_->DeltaWritePossible(region_, lba);
+    }
+    bool IsMapped(Lba lba) const override {
+      return ftl_->IsMapped(region_, lba);
+    }
+    uint32_t page_size() const override {
+      return ftl_->device().geometry().page_size;
+    }
+    uint64_t capacity_pages() const override {
+      return ftl_->region_config(region_).logical_pages;
+    }
+
+   private:
+    NoFtl* ftl_;
+    RegionId region_;
+  };
+  struct BlockInfo {
+    flash::Pbn pbn = 0;
+    uint32_t valid = 0;        ///< Valid (mapped) pages in this block.
+    uint32_t next_page = 0;    ///< Write frontier (page index within block).
+    bool is_free = true;
+    bool is_active = false;
+  };
+
+  struct Region {
+    RegionConfig config;
+    std::vector<BlockInfo> blocks;          // all blocks owned by the region
+    std::vector<uint32_t> free_blocks;      // indices into `blocks`
+    /// Active (frontier) block index per owned chip; -1 if none.
+    std::vector<int32_t> active_by_chip;
+    std::vector<uint32_t> chips;            // chips in use
+    uint32_t rr_cursor = 0;                 // round-robin chip cursor
+    std::vector<flash::Ppn> map;            // lba -> ppn
+    /// Reverse map: index within region's physical page space -> lba.
+    std::vector<Lba> rmap;                  // indexed by (block_idx*pages_per_block+page)
+    std::unordered_map<flash::Pbn, uint32_t> pbn_to_idx;
+    RegionStats stats;
+  };
+
+  /// Pages usable per block given the region's IPA mode (pSLC halves it).
+  uint32_t UsablePagesPerBlock(const Region& reg) const;
+  /// i-th usable page index within a block for this region's mode.
+  uint32_t UsablePage(const Region& reg, uint32_t i) const;
+
+  /// Allocate the next free physical page. Host allocations keep a small
+  /// free-block reserve untouched so the garbage collector always has
+  /// migration headroom; GC allocations (`for_gc`) may dip into it.
+  Status AllocatePage(Region& reg, flash::Ppn* ppn, uint32_t* block_idx,
+                      bool for_gc = false);
+  Status RunGcIfNeeded(Region& reg);
+  Status GarbageCollect(Region& reg);
+  void Invalidate(Region& reg, flash::Ppn ppn);
+  uint32_t BlockIndexOf(const Region& reg, flash::Ppn ppn) const;
+
+  /// OOB layout helpers for managed ECC.
+  Status WriteInitialEcc(Region& reg, flash::Ppn ppn, const uint8_t* data);
+  Status AppendDeltaEcc(Region& reg, flash::Ppn ppn, uint32_t slot,
+                        uint32_t offset, const uint8_t* bytes, uint32_t len);
+  Status VerifyEcc(Region& reg, flash::Ppn ppn, uint8_t* data);
+
+  flash::FlashArray* device_;
+  std::vector<Region> regions_;
+  std::deque<RegionDevice> region_devices_;  // stable addresses
+  flash::Pbn next_unclaimed_block_ = 0;  // simple bump allocator over device blocks
+  std::vector<std::deque<flash::Pbn>> device_free_;  // per-chip unclaimed blocks
+};
+
+}  // namespace ipa::ftl

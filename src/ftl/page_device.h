@@ -1,0 +1,48 @@
+// PageDevice: the storage interface the engine programs against.
+//
+// Two implementations exist, mirroring the paper's two deployment models:
+//  * NoFTL regions (Section 5)  — the DBMS controls raw flash directly;
+//    NoFtl::region_device() adapts a region to this interface;
+//  * BlackboxSsd (Section 7 / conclusions) — a conventional SSD whose
+//    block-device interface is extended with the write_delta command and a
+//    scheme-hint control command for on-controller ECC, "at the cost of
+//    lower performance compared to IPA under NoFTL".
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ipa::ftl {
+
+using Lba = uint64_t;
+
+class PageDevice {
+ public:
+  virtual ~PageDevice() = default;
+
+  /// Read a logical page (page_size bytes; unwritten pages read as 0xFF).
+  virtual Status ReadPage(Lba lba, uint8_t* out) = 0;
+
+  /// Out-of-place write of a full logical page.
+  virtual Status WritePage(Lba lba, const uint8_t* data, bool sync) = 0;
+
+  /// write_delta(LBA, offset, delta_length, delta_bytes[]). NotSupported
+  /// when the device/page cannot take the append (caller falls back).
+  virtual Status WriteDelta(Lba lba, uint32_t offset, const uint8_t* bytes,
+                            uint32_t len, bool sync) = 0;
+
+  /// Whether write_delta can currently succeed on this logical page.
+  virtual bool DeltaWritePossible(Lba lba) const = 0;
+
+  /// True if the logical page has ever been written.
+  virtual bool IsMapped(Lba lba) const = 0;
+
+  virtual uint32_t page_size() const = 0;
+
+  /// Host-visible capacity in logical pages.
+  virtual uint64_t capacity_pages() const = 0;
+};
+
+}  // namespace ipa::ftl

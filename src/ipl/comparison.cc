@@ -1,0 +1,23 @@
+#include "ipl/comparison.h"
+
+namespace ipa::ipl {
+
+IpaAccounting AccountIpa(const std::vector<engine::IoEvent>& trace,
+                         const ftl::RegionStats& region,
+                         uint32_t io_per_logical_page) {
+  IpaAccounting acc;
+  acc.io_per_logical_page = io_per_logical_page;
+  for (const auto& e : trace) {
+    switch (e.type) {
+      case engine::IoEvent::Type::kFetch: acc.page_fetches++; break;
+      case engine::IoEvent::Type::kEvictIpa: acc.write_deltas++; break;
+      case engine::IoEvent::Type::kEvictOop: acc.out_of_place_writes++; break;
+      case engine::IoEvent::Type::kUpdate: break;
+    }
+  }
+  acc.gc_page_migrations = region.gc_page_migrations;
+  acc.gc_erases = region.gc_erases;
+  return acc;
+}
+
+}  // namespace ipa::ipl

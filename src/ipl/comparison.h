@@ -1,0 +1,49 @@
+// Appendix B accounting for the IPA side of the IPL-vs-IPA comparison
+// (Table 2). Counts come from the live engine run (its I/O trace and the
+// NoFTL region statistics); the formulas are the paper's.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/types.h"
+#include "ftl/noftl.h"
+
+namespace ipa::ipl {
+
+struct IpaAccounting {
+  uint64_t page_fetches = 0;
+  uint64_t write_deltas = 0;        ///< Evictions served as in-place appends.
+  uint64_t out_of_place_writes = 0;
+  uint64_t gc_page_migrations = 0;
+  uint64_t gc_erases = 0;
+  /// Physical flash I/Os per logical DB page (4 for 8KB pages on 2KB flash).
+  uint32_t io_per_logical_page = 4;
+
+  uint64_t page_evictions() const { return write_deltas + out_of_place_writes; }
+
+  /// WA_IPA = (#write_deltas*1 + #oop*4 + #gc_migrations*4) / (#evictions*4).
+  double WriteAmplification() const {
+    if (page_evictions() == 0) return 0.0;
+    double num = static_cast<double>(write_deltas) +
+                 static_cast<double>(out_of_place_writes) * io_per_logical_page +
+                 static_cast<double>(gc_page_migrations) * io_per_logical_page;
+    return num / (static_cast<double>(page_evictions()) * io_per_logical_page);
+  }
+
+  /// RA_IPA = (#page_fetches*4 + #gc_migrations*4) / (#page_fetches*4).
+  double ReadAmplification() const {
+    if (page_fetches == 0) return 0.0;
+    return (static_cast<double>(page_fetches) +
+            static_cast<double>(gc_page_migrations)) /
+           static_cast<double>(page_fetches);
+  }
+};
+
+/// Build the IPA-side accounting from a recorded trace + region statistics.
+IpaAccounting AccountIpa(const std::vector<engine::IoEvent>& trace,
+                         const ftl::RegionStats& region,
+                         uint32_t io_per_logical_page = 4);
+
+}  // namespace ipa::ipl

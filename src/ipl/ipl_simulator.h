@@ -1,0 +1,108 @@
+// In-Page Logging (IPL) baseline simulator — Lee & Moon, SIGMOD'07 — as used
+// by the paper's Section 8.3 comparison and quantified by its Appendix B.
+//
+// Configuration mirrors the original IPL paper's setup: 8KB logical DB
+// pages on SLC flash with 2KB physical pages, 64 physical pages per erase
+// unit, 512B partial writes, a 512B in-memory log sector per buffered
+// logical page, and an 8KB log region at the end of every erase unit. An
+// erase unit therefore holds 15 logical data pages + 16 log sectors.
+//
+// Mechanism replayed from an engine I/O trace (engine::IoEvent):
+//  * update(p, n)  — append an n-byte log entry to p's in-memory log sector;
+//                    a full sector is flushed to the erase unit's log region
+//                    as one 512B partial write;
+//  * evict(p)      — the remaining log-sector content is flushed likewise;
+//  * fetch(p)      — reads the logical page (4 x 2KB) plus the whole log
+//                    region of its erase unit (another 4 x 2KB): IPL's
+//                    read doubling;
+//  * when a log region fills, the erase unit is *merged*: all 15 logical
+//                    pages are read to the host, combined with their log
+//                    records, written to a fresh unit, and the old unit is
+//                    erased. Merges are blocking and constant-cost
+//                    (Section 2.1, point 2).
+//
+// Counters feed the Appendix B formulas exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "engine/types.h"
+
+namespace ipa::ipl {
+
+struct IplConfig {
+  uint32_t logical_page_bytes = 8192;
+  uint32_t physical_page_bytes = 2048;
+  uint32_t pages_per_erase_unit = 64;   // physical pages
+  uint32_t partial_write_bytes = 512;
+  uint32_t log_region_bytes = 8192;     // per erase unit
+  uint32_t log_sector_bytes = 512;      // in-memory, per logical page
+  /// Per-entry header bytes added to every update's log record.
+  uint32_t log_entry_header = 4;
+};
+
+struct IplStats {
+  uint64_t page_fetches = 0;
+  uint64_t page_evictions = 0;
+  uint64_t imlog_full_flushes = 0;  ///< Sector-full partial writes.
+  uint64_t merges = 0;
+  uint64_t erases = 0;  ///< == merges (each merge erases one unit).
+
+  /// Appendix B: physical 2KB I/Os per logical operation.
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+};
+
+class IplSimulator {
+ public:
+  explicit IplSimulator(const IplConfig& config = {});
+
+  /// Replay one engine I/O event (pages are identified by IoEvent::page).
+  void Apply(const engine::IoEvent& event);
+
+  /// Replay a whole trace.
+  template <typename Container>
+  void Replay(const Container& trace) {
+    for (const auto& e : trace) Apply(e);
+  }
+
+  /// Flush every in-memory log sector (end-of-run bookkeeping).
+  void FlushAll();
+
+  const IplStats& stats() const { return stats_; }
+
+  /// Appendix B write amplification:
+  ///   (#merges*15*4 + #imlog_full + #page_evictions) / (#page_evictions*4)
+  double WriteAmplification() const;
+
+  /// Appendix B read amplification:
+  ///   (#page_fetches*2*4 + #merges*16*4) / (#page_fetches*4)
+  double ReadAmplification() const;
+
+  uint32_t data_pages_per_unit() const { return data_pages_per_unit_; }
+
+ private:
+  struct UnitState {
+    uint32_t log_used = 0;  // bytes written into the log region
+  };
+
+  uint64_t UnitOf(uint64_t page) const { return page_key_to_seq_.at(page) / data_pages_per_unit_; }
+  uint64_t SeqOf(uint64_t page);
+  void FlushSector(uint64_t page, bool count_as_eviction);
+  void MergeUnit(uint64_t unit);
+
+  IplConfig config_;
+  IplStats stats_;
+  uint32_t data_pages_per_unit_;
+  uint32_t io_per_logical_page_;  // physical pages per logical page (4)
+
+  /// Logical pages are assigned to erase units in first-touch order.
+  std::unordered_map<uint64_t, uint64_t> page_key_to_seq_;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<uint64_t, UnitState> units_;
+  std::unordered_map<uint64_t, uint32_t> sector_fill_;  // per logical page
+};
+
+}  // namespace ipa::ipl

@@ -1,0 +1,152 @@
+#include "storage/delta_record.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "storage/slotted_page.h"
+
+namespace ipa::storage {
+
+namespace {
+
+struct AreaView {
+  uint32_t delta_off;
+  Scheme scheme;
+  uint32_t record_bytes;
+};
+
+AreaView ViewOf(const uint8_t* page, uint32_t page_size) {
+  SlottedPage view(const_cast<uint8_t*>(page), page_size);
+  AreaView v;
+  v.delta_off = view.delta_off();
+  v.scheme = view.scheme();
+  v.record_bytes = v.scheme.RecordBytes();
+  return v;
+}
+
+/// Encode one (value, offset) pair at `dst`.
+void PutPair(uint8_t* dst, ByteChange c) {
+  dst[0] = c.value;
+  EncodeU16(dst + 1, c.offset);
+}
+
+}  // namespace
+
+uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
+  AreaView v = ViewOf(page, page_size);
+  if (!v.scheme.enabled()) return 0;
+  uint32_t count = 0;
+  for (uint32_t r = 0; r < v.scheme.n; r++) {
+    uint32_t base = v.delta_off + r * v.record_bytes;
+    if (base + v.record_bytes > page_size) break;
+    if (page[base] == 0xFF) break;  // erased ctrl byte: no further records
+    count++;
+  }
+  return count;
+}
+
+uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
+  AreaView v = ViewOf(page, page_size);
+  if (!v.scheme.enabled()) return 0;
+  uint32_t applied = 0;
+  uint32_t pairs = static_cast<uint32_t>(v.scheme.m) + v.scheme.v;
+  for (uint32_t r = 0; r < v.scheme.n; r++) {
+    uint32_t base = v.delta_off + r * v.record_bytes;
+    if (base + v.record_bytes > page_size) break;
+    if (page[base] == 0xFF) break;
+    for (uint32_t p = 0; p < pairs; p++) {
+      const uint8_t* pair = page + base + 1 + 3 * p;
+      uint16_t offset = DecodeU16(pair + 1);
+      if (offset == 0xFFFF) continue;
+      if (offset < v.delta_off) page[offset] = pair[0];
+    }
+    applied++;
+  }
+  return applied;
+}
+
+uint32_t DeltaBudgetRemaining(const uint8_t* page, uint32_t page_size) {
+  AreaView v = ViewOf(page, page_size);
+  if (!v.scheme.enabled()) return 0;
+  uint32_t existing = CountDeltaRecords(page, page_size);
+  return (v.scheme.n - existing) * v.scheme.m;
+}
+
+PageDiff DiffPages(const uint8_t* base, const uint8_t* cur, uint32_t page_size,
+                   uint32_t body_cap, uint32_t meta_cap) {
+  SlottedPage view(const_cast<uint8_t*>(cur), page_size);
+  uint32_t delta_off = view.delta_off();
+  uint16_t meta_begin = view.free_end();
+
+  PageDiff diff;
+  for (uint32_t i = 0; i < delta_off; i++) {
+    if (base[i] == cur[i]) continue;
+    ByteChange c{static_cast<uint16_t>(i), cur[i]};
+    bool is_meta = i < kPageHeaderSize || (i >= meta_begin && i < delta_off);
+    if (is_meta) {
+      if (diff.meta.size() >= meta_cap) {
+        diff.overflow = true;
+        return diff;
+      }
+      diff.meta.push_back(c);
+    } else {
+      if (diff.body.size() >= body_cap) {
+        diff.overflow = true;
+        return diff;
+      }
+      diff.body.push_back(c);
+    }
+  }
+  return diff;
+}
+
+Result<AppendPlan> EncodeDeltaRecords(uint8_t* cur, uint32_t page_size,
+                                      const PageDiff& diff) {
+  AreaView v = ViewOf(cur, page_size);
+  if (!v.scheme.enabled()) {
+    return Status::NotSupported("page has no delta area");
+  }
+  if (diff.overflow) {
+    return Status::OutOfSpace("diff exceeds tracking caps");
+  }
+  if (diff.Empty()) {
+    return AppendPlan{};  // nothing to write
+  }
+  if (diff.meta.size() > v.scheme.v) {
+    return Status::OutOfSpace("metadata changes exceed V");
+  }
+  uint32_t existing = CountDeltaRecords(cur, page_size);
+  uint32_t avail = v.scheme.n - existing;
+  uint32_t body = static_cast<uint32_t>(diff.body.size());
+  uint32_t needed = body == 0 ? 1 : (body + v.scheme.m - 1) / v.scheme.m;
+  if (needed > avail) {
+    return Status::OutOfSpace("delta-record slots exhausted");
+  }
+
+  uint32_t first = v.delta_off + existing * v.record_bytes;
+  size_t body_idx = 0;
+  for (uint32_t k = 0; k < needed; k++) {
+    uint8_t* rec = cur + first + k * v.record_bytes;
+    // The buffer's delta slots must still be erased; fill explicitly so the
+    // encoded bytes are exactly what write_delta programs.
+    std::memset(rec, 0xFF, v.record_bytes);
+    rec[0] = kCtrlPresent;
+    for (uint32_t p = 0; p < v.scheme.m && body_idx < diff.body.size(); p++) {
+      PutPair(rec + 1 + 3 * p, diff.body[body_idx++]);
+    }
+    if (k == needed - 1) {
+      for (size_t j = 0; j < diff.meta.size(); j++) {
+        PutPair(rec + 1 + 3 * v.scheme.m + 3 * static_cast<uint32_t>(j),
+                diff.meta[j]);
+      }
+    }
+  }
+
+  AppendPlan plan;
+  plan.write_offset = first;
+  plan.write_len = needed * v.record_bytes;
+  plan.records = needed;
+  return plan;
+}
+
+}  // namespace ipa::storage

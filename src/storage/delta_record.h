@@ -1,0 +1,81 @@
+// Delta-record encoding, application and page diffing (Sections 6.1, 6.2).
+//
+// A delta-record is:
+//
+//   [ctrl 1B] [body pairs: M x (value 1B, offset 2B)] [meta pairs: V x ...]
+//
+// appended into the page's delta-record area. A pair with offset 0xFFFF is
+// unused (its three bytes stay erased, 0xFF, so the record can be programmed
+// with ISPP). The ctrl byte flags the record as present. Applying a record
+// replays `page[offset] = value` for every used pair; records are applied in
+// append (forward) order, so the last write of an offset wins — exactly the
+// REDO semantics of the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_format.h"
+
+namespace ipa::storage {
+
+/// Control-byte value marking a present delta-record (any value != 0xFF
+/// works under ISPP; this one keeps half the bits erased).
+constexpr uint8_t kCtrlPresent = 0x5A;
+
+/// One changed byte at an absolute page offset.
+struct ByteChange {
+  uint16_t offset;
+  uint8_t value;
+};
+
+/// Outcome of diffing the buffered page against its base (flash) image.
+struct PageDiff {
+  std::vector<ByteChange> body;  ///< Changes to tuple data.
+  std::vector<ByteChange> meta;  ///< Changes to header + slot array.
+  bool overflow = false;         ///< Hit the caps; lists are truncated.
+
+  bool Empty() const { return body.empty() && meta.empty() && !overflow; }
+  uint32_t TotalBytes() const {
+    return static_cast<uint32_t>(body.size() + meta.size());
+  }
+};
+
+/// Placement of freshly encoded records, i.e. the write_delta payload.
+struct AppendPlan {
+  uint32_t write_offset = 0;  ///< Page offset of the first new record.
+  uint32_t write_len = 0;     ///< Bytes to append (k * RecordBytes()).
+  uint32_t records = 0;       ///< Number of new records (k).
+};
+
+/// Number of delta-records currently present on the page (scans ctrl bytes;
+/// records are contiguous from the start of the delta area). This is the
+/// paper's N_E.
+uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size);
+
+/// Apply all present delta-records to the page in forward order. Returns the
+/// number of records applied. Idempotent.
+uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size);
+
+/// Remaining body-byte budget C_p = (N - N_E) * M for the page.
+uint32_t DeltaBudgetRemaining(const uint8_t* page, uint32_t page_size);
+
+/// Byte-diff `cur` against `base` over [0, delta_off), classifying offsets
+/// into body vs metadata using `cur`'s header. Collection stops (and
+/// `overflow` is set) once body exceeds `body_cap` or meta exceeds
+/// `meta_cap` changes — enough to know the [NxM] budget is blown without
+/// materializing a page-sized diff.
+PageDiff DiffPages(const uint8_t* base, const uint8_t* cur, uint32_t page_size,
+                   uint32_t body_cap, uint32_t meta_cap);
+
+/// Encode `diff` as new delta-records in `cur`'s delta area (mutates the
+/// buffer). Body pairs are distributed across ceil(|body|/M) records; all
+/// metadata pairs go into the last record. Fails with OutOfSpace when the
+/// diff does not fit the remaining [NxM] budget; the caller then writes the
+/// page out-of-place.
+Result<AppendPlan> EncodeDeltaRecords(uint8_t* cur, uint32_t page_size,
+                                      const PageDiff& diff);
+
+}  // namespace ipa::storage

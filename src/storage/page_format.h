@@ -1,0 +1,72 @@
+// On-page format: NSM slotted page extended with a delta-record area
+// (paper Section 6.1, Figure 4).
+//
+// Layout of a page of size P with an [NxM] scheme whose delta area occupies
+// D = N * (1 + 3M + 3V) bytes:
+//
+//   +-----------+---------------------+---------+-------------+------------+
+//   | header 40 | tuple data  ------> |  free   | <- slot arr | delta area |
+//   +-----------+---------------------+---------+-------------+------------+
+//   0          40                 free_begin  free_end    delta_off        P
+//
+// The slot array grows downwards from delta_off. Page metadata in the
+// paper's sense (header + footer/slot table) is [0,40) plus
+// [free_end, delta_off). ECC_initial covers [0, delta_off); the delta area
+// is written erased (0xFF) on every out-of-place write so that delta-records
+// can later be ISPP-appended to the same physical flash page.
+//
+// Note: the paper draws the footer at the physical end of the page with the
+// delta area inside the free space; we place the delta area last so that the
+// ECC_initial region is contiguous. The two layouts are isomorphic.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ipa::storage {
+
+/// Fixed page-header size in bytes.
+constexpr uint32_t kPageHeaderSize = 40;
+/// Bytes per slot-array entry (u16 offset + u16 length).
+constexpr uint32_t kSlotEntrySize = 4;
+/// Slot length marker for deleted tuples.
+constexpr uint16_t kDeadSlotLen = 0xFFFF;
+
+// Header field offsets. PageLSN sits at offset 0 and is little-endian, so
+// its most frequently changing least-significant byte is page offset 0 —
+// the property the paper's byte-granularity metadata tracking exploits.
+constexpr uint32_t kOffPageLsn = 0;     // u64
+constexpr uint32_t kOffPageId = 8;      // u64
+constexpr uint32_t kOffSlotCount = 16;  // u16
+constexpr uint32_t kOffFreeBegin = 18;  // u16
+constexpr uint32_t kOffFreeEnd = 20;    // u16
+constexpr uint32_t kOffDeltaOff = 22;   // u16
+constexpr uint32_t kOffN = 24;          // u8
+constexpr uint32_t kOffM = 25;          // u8
+constexpr uint32_t kOffV = 26;          // u8
+constexpr uint32_t kOffFlags = 27;      // u8
+constexpr uint32_t kOffTableId = 28;    // u32
+// [32,40) reserved.
+
+/// The [NxM] scheme (Section 6): at most `n` delta-records per page, each
+/// covering at most `m` changed body bytes and `v` changed metadata bytes.
+/// n == 0 disables IPA for the page.
+struct Scheme {
+  uint8_t n = 0;
+  uint8_t m = 0;
+  uint8_t v = 12;
+
+  /// Size of one delta-record: control byte + 3 bytes per (value,offset)
+  /// pair for body and metadata parts (Section 6.1: 1 + 3M + 3V).
+  uint32_t RecordBytes() const { return 1 + 3u * m + 3u * v; }
+  /// Total reserved delta-record area: N * (1 + 3M + 3V).
+  uint32_t AreaBytes() const { return n * RecordBytes(); }
+  bool enabled() const { return n > 0 && m > 0; }
+
+  /// Space overhead as a fraction of the page.
+  double SpaceOverhead(uint32_t page_size) const {
+    return static_cast<double>(AreaBytes()) / static_cast<double>(page_size);
+  }
+};
+
+}  // namespace ipa::storage

@@ -1,0 +1,69 @@
+// Testbed assembly: builds the device + NoFTL + engine stacks used across
+// benchmarks, examples and integration tests (Section 8.1).
+//
+// Two hardware profiles are modeled:
+//  * kEmulatorSlc  — the paper's real-time flash emulator: 16 SLC chips on 4
+//    channels, 10% over-provisioning, page-level mapping;
+//  * kOpenSsdPSlc / kOpenSsdOddMlc — the OpenSSD Jasmine board: MLC flash,
+//    effective host parallelism of one request (no NCQ), small DB buffer;
+//    IPA in pSLC or odd-MLC mode (Appendix D).
+
+#pragma once
+
+#include <memory>
+
+#include "engine/database.h"
+#include "workload/workload.h"
+
+namespace ipa::workload {
+
+enum class Profile {
+  kEmulatorSlc,
+  kOpenSsdPSlc,
+  kOpenSsdOddMlc,
+  kOpenSsdNoIpa,  ///< OpenSSD baseline [0x0] (MLC, no IPA).
+};
+
+struct TestbedConfig {
+  Profile profile = Profile::kEmulatorSlc;
+  uint32_t page_size = 4096;
+  /// The [NxM] scheme; {} ([0x0]) disables IPA.
+  storage::Scheme scheme = {};
+  /// Number of data pages the workload's initial database occupies
+  /// (Workload::EstimatedPages); sizes the region and the buffer.
+  uint64_t db_pages = 0;
+  /// Buffer pool size as a fraction of db_pages (the paper's "Buffer X%").
+  double buffer_fraction = 0.5;
+  /// Extra logical capacity for growth (append-heavy tables).
+  double growth_headroom = 2.0;
+  double over_provisioning = 0.10;
+  /// Shore-MT policies: eager (0.125 / 0.375) vs non-eager (0.75 / 1.0).
+  double dirty_flush_threshold = 0.125;
+  double log_reclaim_threshold = 0.375;
+  bool record_update_sizes = false;
+  bool record_io_trace = false;
+  uint64_t min_buffer_pages = 64;
+  uint64_t log_capacity_bytes = 24ull << 20;
+};
+
+struct Testbed {
+  std::unique_ptr<flash::FlashArray> dev;
+  std::unique_ptr<ftl::NoFtl> noftl;
+  std::unique_ptr<engine::Database> db;
+  engine::TablespaceId ts = 0;
+  ftl::RegionId region = 0;
+  uint64_t buffer_pages = 0;
+
+  TablespaceMap ts_map() const { return SingleTablespace(ts); }
+  const ftl::RegionStats& region_stats() const {
+    return noftl->region_stats(region);
+  }
+};
+
+Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config);
+
+/// Scale factor for benchmark sizes: the IPA_SCALE environment variable
+/// (default 1.0) multiplies workload row counts and transaction counts.
+double BenchScale();
+
+}  // namespace ipa::workload

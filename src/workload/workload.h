@@ -1,0 +1,66 @@
+// Workload framework: TPC-B, TPC-C, TATP and LinkBench drivers over the
+// engine (Section 8.2 analyses, Sections 8.3/8.4 evaluations).
+//
+// All workloads run at reduced scale; the schemas, transaction profiles and
+// attribute layouts follow the respective specifications so the *update-size
+// distributions* — the property the paper's analysis rests on — are
+// faithful. Each driver documents its deviations.
+//
+// Secondary access paths that a full system would keep in auxiliary
+// structures (e.g. "oldest undelivered order per district") are held in
+// process memory where noted; primary data and indexes live in the engine
+// and generate real page I/O.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace ipa::workload {
+
+/// Assigns tables to tablespaces; returning the same id for every table puts
+/// the whole database in one region (the default). Selective-IPA experiments
+/// map write-hot tables to an IPA region and the rest elsewhere (Section 5).
+using TablespaceMap =
+    std::function<engine::TablespaceId(const std::string& table_name)>;
+
+inline TablespaceMap SingleTablespace(engine::TablespaceId ts) {
+  return [ts](const std::string&) { return ts; };
+}
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Create tables/indexes and populate the initial database.
+  virtual Status Load() = 0;
+
+  /// Execute one transaction of the mix. Returns true if it committed
+  /// (some mixes contain spec-mandated rollbacks).
+  virtual Result<bool> RunTransaction() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Rebuild secondary access structures (B+tree indexes, rid caches) from
+  /// heap scans after crash recovery — indexes are not WAL-logged
+  /// (engine/btree.h), so ARIES restores heap content only. Default: not
+  /// implemented for this workload.
+  virtual Status RebuildIndexes() {
+    return Status::NotSupported("index rebuild not implemented");
+  }
+
+  /// Rough number of data pages the loaded database occupies — used to size
+  /// regions and express buffer sizes as a fraction of the DB.
+  virtual uint64_t EstimatedPages(uint32_t page_size) const = 0;
+};
+
+/// Run `n` transactions, aborting the run on hard errors.
+Status RunTransactions(Workload& w, uint64_t n);
+
+}  // namespace ipa::workload

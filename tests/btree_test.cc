@@ -1,0 +1,248 @@
+// B+tree tests: ordered inserts, random inserts, splits, scans, removals.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/btree.h"
+
+namespace ipa::engine {
+namespace {
+
+struct TreeFixture {
+  flash::FlashArray dev;
+  ftl::NoFtl noftl;
+  std::unique_ptr<Database> db;
+  TablespaceId ts = 0;
+
+  TreeFixture()
+      : dev(Geo(), flash::SlcTiming()), noftl(&dev) {
+    ftl::RegionConfig rc;
+    rc.name = "idx";
+    rc.logical_pages = 4096;
+    rc.ipa_mode = ftl::IpaMode::kSlc;
+    rc.delta_area_offset = 4096 - storage::Scheme{.n = 2, .m = 3, .v = 12}.AreaBytes();
+    auto r = noftl.CreateRegion(rc);
+    EXPECT_TRUE(r.ok());
+    EngineConfig ec;
+    ec.buffer_pages = 256;
+    ec.log_capacity_bytes = 8 << 20;
+    db = std::make_unique<Database>(&noftl, ec);
+    auto t = db->CreateTablespace("idx", r.value(), {.n = 2, .m = 3, .v = 12});
+    EXPECT_TRUE(t.ok());
+    ts = t.value();
+  }
+
+  static flash::Geometry Geo() {
+    flash::Geometry g;
+    g.channels = 2;
+    g.chips_per_channel = 2;
+    g.blocks_per_chip = 64;
+    g.pages_per_block = 32;
+    g.page_size = 4096;
+    g.cell_type = flash::CellType::kSlc;
+    return g;
+  }
+};
+
+TEST(BtreeTest, EmptyLookupFails) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree.value().Lookup(42).status().IsNotFound());
+}
+
+TEST(BtreeTest, InsertLookupSmall) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  for (uint64_t k = 0; k < 100; k++) {
+    ASSERT_TRUE(t.Insert(k, k * 10).ok());
+  }
+  for (uint64_t k = 0; k < 100; k++) {
+    auto v = t.Lookup(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(v.value(), k * 10);
+  }
+  EXPECT_TRUE(t.Lookup(100).status().IsNotFound());
+}
+
+TEST(BtreeTest, OverwriteReplacesValue) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree.value().Insert(7, 1).ok());
+  ASSERT_TRUE(tree.value().Insert(7, 2).ok());
+  auto v = tree.value().Lookup(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 2u);
+}
+
+TEST(BtreeTest, SequentialInsertsForceSplitsAndStayOrdered) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  constexpr uint64_t kN = 5000;
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_TRUE(t.Insert(k, ~k).ok()) << k;
+  }
+  EXPECT_GT(t.height(), 1u);
+  uint64_t prev = 0;
+  uint64_t count = 0;
+  ASSERT_TRUE(t.Scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+                 EXPECT_EQ(v, ~k);
+                 if (count > 0) EXPECT_GT(k, prev);
+                 prev = k;
+                 count++;
+                 return true;
+               }).ok());
+  EXPECT_EQ(count, kN);
+}
+
+TEST(BtreeTest, RandomInsertsMatchReferenceMap) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  Rng rng(99);
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 4000; i++) {
+    uint64_t k = rng.Uniform(100000);
+    uint64_t v = rng.Next();
+    ref[k] = v;
+    ASSERT_TRUE(t.Insert(k, v).ok()) << i;
+  }
+  for (const auto& [k, v] : ref) {
+    auto got = t.Lookup(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(got.value(), v) << k;
+  }
+}
+
+TEST(BtreeTest, RangeScanBounds) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(t.Insert(k, k).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(t.Scan(100, 110, [&](uint64_t k, uint64_t) {
+                 seen.push_back(k);
+                 return true;
+               }).ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{100, 102, 104, 106, 108, 110}));
+}
+
+TEST(BtreeTest, RemoveThenLookupFails) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  for (uint64_t k = 0; k < 500; k++) ASSERT_TRUE(t.Insert(k, k).ok());
+  for (uint64_t k = 0; k < 500; k += 3) ASSERT_TRUE(t.Remove(k).ok());
+  for (uint64_t k = 0; k < 500; k++) {
+    auto v = t.Lookup(k);
+    if (k % 3 == 0) {
+      EXPECT_TRUE(v.status().IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(v.ok()) << k;
+    }
+  }
+  EXPECT_TRUE(t.Remove(0).IsNotFound());
+}
+
+TEST(BtreeTest, WorksUnderTinyBufferPool) {
+  // Index larger than the pool: exercises fetch/evict of index pages and the
+  // IPA write path on index nodes.
+  flash::FlashArray dev(TreeFixture::Geo(), flash::SlcTiming());
+  ftl::NoFtl noftl(&dev);
+  ftl::RegionConfig rc;
+  rc.name = "idx";
+  rc.logical_pages = 4096;
+  rc.ipa_mode = ftl::IpaMode::kSlc;
+  rc.delta_area_offset = 4096 - 92;
+  auto r = noftl.CreateRegion(rc);
+  ASSERT_TRUE(r.ok());
+  EngineConfig ec;
+  ec.buffer_pages = 8;
+  ec.log_capacity_bytes = 8 << 20;
+  Database db(&noftl, ec);
+  auto ts = db.CreateTablespace("idx", r.value(), {.n = 2, .m = 3, .v = 12});
+  ASSERT_TRUE(ts.ok());
+  auto tree = Btree::Create(&db, "t", ts.value());
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  for (uint64_t k = 0; k < 3000; k++) {
+    ASSERT_TRUE(t.Insert(k * 7 % 3000, k).ok()) << k;
+  }
+  uint64_t count = 0;
+  ASSERT_TRUE(t.Scan(0, ~0ull, [&](uint64_t, uint64_t) {
+                 count++;
+                 return true;
+               }).ok());
+  EXPECT_EQ(count, 3000u);
+}
+
+// Mixed insert/overwrite/remove fuzz against a reference map, with interim
+// range-scan verification.
+class BtreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BtreeFuzz, MixedOpsMatchReference) {
+  TreeFixture f;
+  auto tree = Btree::Create(f.db.get(), "t", f.ts);
+  ASSERT_TRUE(tree.ok());
+  Btree& t = tree.value();
+  Rng rng(500 + GetParam());
+  std::map<uint64_t, uint64_t> ref;
+
+  for (int op = 0; op < 8000; op++) {
+    double p = rng.NextDouble();
+    uint64_t k = rng.Uniform(5000);
+    if (p < 0.6) {
+      uint64_t v = rng.Next();
+      ASSERT_TRUE(t.Insert(k, v).ok());
+      ref[k] = v;
+    } else if (p < 0.85) {
+      Status s = t.Remove(k);
+      if (ref.erase(k) > 0) {
+        ASSERT_TRUE(s.ok()) << k;
+      } else {
+        ASSERT_TRUE(s.IsNotFound()) << k;
+      }
+    } else {
+      auto got = t.Lookup(k);
+      auto it = ref.find(k);
+      if (it == ref.end()) {
+        ASSERT_TRUE(got.status().IsNotFound()) << k;
+      } else {
+        ASSERT_TRUE(got.ok()) << k;
+        ASSERT_EQ(got.value(), it->second) << k;
+      }
+    }
+    if (op % 2000 == 1999) {
+      // Full-scan equivalence.
+      auto it = ref.begin();
+      uint64_t seen = 0;
+      ASSERT_TRUE(t.Scan(0, ~0ull, [&](uint64_t key, uint64_t value) {
+                      EXPECT_NE(it, ref.end());
+                      if (it == ref.end()) return false;
+                      EXPECT_EQ(key, it->first);
+                      EXPECT_EQ(value, it->second);
+                      ++it;
+                      seen++;
+                      return true;
+                    }).ok());
+      ASSERT_EQ(seen, ref.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace ipa::engine

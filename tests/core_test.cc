@@ -1,0 +1,198 @@
+// Tests for the IPA core: write-path policy and the advisor.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/write_policy.h"
+#include "storage/slotted_page.h"
+
+namespace ipa::core {
+namespace {
+
+constexpr uint32_t kPageSize = 4096;
+using storage::Scheme;
+using storage::SlottedPage;
+
+std::vector<uint8_t> FreshPage(Scheme s) {
+  std::vector<uint8_t> buf(kPageSize);
+  SlottedPage page(buf.data(), kPageSize);
+  page.Initialize(1, 1, s);
+  std::vector<uint8_t> tuple(40, 0x10);
+  EXPECT_TRUE(page.Insert(tuple).ok());
+  return buf;
+}
+
+TEST(WritePolicyTest, CleanWhenNoDiff) {
+  auto base = FreshPage({.n = 2, .m = 3, .v = 12});
+  auto cur = base;
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+  EXPECT_EQ(d.path, WritePath::kClean);
+}
+
+TEST(WritePolicyTest, SmallUpdateBecomesAppend) {
+  auto base = FreshPage({.n = 2, .m = 3, .v = 12});
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x99;
+  ASSERT_TRUE(page.UpdateInPlace(0, 5, {&v, 1}).ok());
+  page.set_page_lsn(7);
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+  EXPECT_EQ(d.path, WritePath::kInPlaceAppend);
+  EXPECT_EQ(d.plan.records, 1u);
+  EXPECT_EQ(d.body_bytes_changed, 1u);
+  EXPECT_EQ(d.meta_bytes_changed, 1u);
+}
+
+TEST(WritePolicyTest, NewPageAlwaysOutOfPlace) {
+  auto base = FreshPage({.n = 2, .m = 3, .v = 12});
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x99;
+  ASSERT_TRUE(page.UpdateInPlace(0, 5, {&v, 1}).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize,
+                        /*flash_copy_exists=*/false, true);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+}
+
+TEST(WritePolicyTest, DeviceVetoForcesOutOfPlace) {
+  auto base = FreshPage({.n = 2, .m = 3, .v = 12});
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x99;
+  ASSERT_TRUE(page.UpdateInPlace(0, 5, {&v, 1}).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true,
+                        /*device_appends_allowed=*/false);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+}
+
+TEST(WritePolicyTest, LargeUpdateOverflowsToOutOfPlaceAndResetsArea) {
+  Scheme s{.n = 2, .m = 3, .v = 12};
+  auto base = FreshPage(s);
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  std::vector<uint8_t> big(30, 0xEE);
+  ASSERT_TRUE(page.UpdateInPlace(0, 0, big).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+  for (uint32_t i = page.delta_off(); i < kPageSize; i++) {
+    ASSERT_EQ(cur[i], 0xFF);
+  }
+}
+
+TEST(WritePolicyTest, SchemeDisabledGoesOutOfPlace) {
+  auto base = FreshPage({});  // no delta area
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x01;
+  ASSERT_TRUE(page.UpdateInPlace(0, 0, {&v, 1}).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+}
+
+TEST(WritePolicyTest, ExactDiffReportsFullSizes) {
+  Scheme s{.n = 2, .m = 3, .v = 12};
+  auto base = FreshPage(s);
+  auto cur = base;
+  SlottedPage page(cur.data(), kPageSize);
+  std::vector<uint8_t> big(25, 0xEE);
+  ASSERT_TRUE(page.UpdateInPlace(0, 0, big).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true,
+                        /*exact_diff=*/true);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+  EXPECT_EQ(d.body_bytes_changed, 25u);
+}
+
+// Budget sweep: with [N x M], exactly N consecutive single-byte evictions
+// append; the (N+1)-th goes out of place.
+class BudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetSweep, NAppendsThenOutOfPlace) {
+  int n = GetParam();
+  Scheme s{.n = static_cast<uint8_t>(n), .m = 3, .v = 12};
+  auto base = FreshPage(s);
+  auto cur = base;
+  for (int round = 0; round < n; round++) {
+    SlottedPage page(cur.data(), kPageSize);
+    uint8_t v = static_cast<uint8_t>(round + 1);
+    ASSERT_TRUE(page.UpdateInPlace(0, round, {&v, 1}).ok());
+    auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+    ASSERT_EQ(d.path, WritePath::kInPlaceAppend) << "round " << round;
+    base = cur;  // flash image now matches (append applied)
+  }
+  SlottedPage page(cur.data(), kPageSize);
+  uint8_t v = 0x7E;
+  ASSERT_TRUE(page.UpdateInPlace(0, 20, {&v, 1}).ok());
+  auto d = PlanEviction(base.data(), cur.data(), kPageSize, true, true);
+  EXPECT_EQ(d.path, WritePath::kOutOfPlace);
+}
+
+INSTANTIATE_TEST_SUITE_P(N, BudgetSweep, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Advisor
+// ---------------------------------------------------------------------------
+
+TEST(AdvisorTest, RenewalModelMonotoneInPAndN) {
+  EXPECT_GT(EstimateIpaFraction(0.9, 2), EstimateIpaFraction(0.5, 2));
+  EXPECT_GT(EstimateIpaFraction(0.9, 3), EstimateIpaFraction(0.9, 2));
+  EXPECT_DOUBLE_EQ(EstimateIpaFraction(0.0, 3), 0.0);
+  EXPECT_NEAR(EstimateIpaFraction(1.0, 2), 2.0 / 3.0, 1e-9);
+}
+
+ObjectProfile TpccLikeProfile() {
+  ObjectProfile p;
+  p.name = "STOCK";
+  // ~75% of flushes change 3 net bytes (NewOrder), tail is larger.
+  for (int i = 0; i < 750; i++) p.net_update_sizes.Add(3);
+  for (int i = 0; i < 150; i++) p.net_update_sizes.Add(12);
+  for (int i = 0; i < 100; i++) p.net_update_sizes.Add(60);
+  for (int i = 0; i < 1000; i++) p.meta_update_sizes.Add(i % 3 == 0 ? 8 : 4);
+  return p;
+}
+
+TEST(AdvisorTest, TpccProfileYieldsSmallM) {
+  Advice a = Recommend(TpccLikeProfile(), flash::CellType::kMlc, 4096,
+                       AdvisorGoal::kPerformance);
+  EXPECT_EQ(a.scheme.m, 3);
+  EXPECT_EQ(a.scheme.n, 2);
+  EXPECT_GT(a.expected_ipa_fraction, 0.4);
+  EXPECT_LT(a.space_overhead, 0.05);
+  EXPECT_FALSE(a.rationale.empty());
+}
+
+TEST(AdvisorTest, LongevityPicksLargerScheme) {
+  Advice perf = Recommend(TpccLikeProfile(), flash::CellType::kSlc, 4096,
+                          AdvisorGoal::kPerformance);
+  Advice lon = Recommend(TpccLikeProfile(), flash::CellType::kSlc, 4096,
+                         AdvisorGoal::kLongevity);
+  EXPECT_GE(lon.scheme.n, perf.scheme.n);
+  EXPECT_GE(lon.scheme.m, perf.scheme.m);
+}
+
+TEST(AdvisorTest, SpaceGoalMinimizesOverhead) {
+  Advice sp = Recommend(TpccLikeProfile(), flash::CellType::kMlc, 4096,
+                        AdvisorGoal::kSpace);
+  EXPECT_EQ(sp.scheme.n, 1);
+  EXPECT_LE(sp.space_overhead, 0.03);
+}
+
+TEST(AdvisorTest, EmptyProfileDisablesIpa) {
+  ObjectProfile p;
+  p.name = "READONLY";
+  Advice a = Recommend(p, flash::CellType::kMlc, 4096, AdvisorGoal::kPerformance);
+  EXPECT_FALSE(a.scheme.enabled());
+}
+
+TEST(AdvisorTest, SpaceCapRespectedForHugeM) {
+  ObjectProfile p;
+  p.name = "linkbench_like";
+  for (int i = 0; i < 1000; i++) p.net_update_sizes.Add(120);
+  for (int i = 0; i < 1000; i++) p.meta_update_sizes.Add(10);
+  Advice a = Recommend(p, flash::CellType::kSlc, 4096, AdvisorGoal::kLongevity);
+  EXPECT_LE(a.space_overhead, 0.15 + 1e-9);
+}
+
+}  // namespace
+}  // namespace ipa::core

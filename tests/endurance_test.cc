@@ -1,0 +1,147 @@
+// Endurance / soak tests: long GC churn with integrity verification, and
+// the longevity arithmetic behind the paper's "twice the lifetime" claim.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "ftl/noftl.h"
+
+namespace ipa::ftl {
+namespace {
+
+flash::Geometry Geo() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 32;
+  g.pages_per_block = 32;
+  g.page_size = 1024;
+  g.oob_size = 64;
+  g.max_programs_per_page = 8;
+  return g;
+}
+
+TEST(EnduranceTest, LongChurnKeepsEveryPageIntact) {
+  flash::FlashArray dev(Geo(), flash::SlcTiming());
+  NoFtl ftl(&dev);
+  RegionConfig rc;
+  rc.name = "soak";
+  rc.logical_pages = 1500;
+  rc.ipa_mode = IpaMode::kSlc;
+  rc.delta_area_offset = 1024 - 96;
+  auto r = ftl.CreateRegion(rc);
+  ASSERT_TRUE(r.ok());
+
+  // Shadow model of expected content: version counter per LBA.
+  std::vector<uint32_t> version(1500, 0);
+  Rng rng(2024);
+  std::vector<uint8_t> page(1024, 0);
+  std::memset(page.data() + rc.delta_area_offset, 0xFF, 96);
+
+  // 30k operations: mixed full rewrites and delta appends over a skewed
+  // range — a multiple of the region's physical capacity, so GC cycles the
+  // whole block population many times.
+  for (int op = 0; op < 30000; op++) {
+    Lba lba = rng.Chance(0.7) ? rng.Uniform(200) : rng.Uniform(1500);
+    version[lba]++;
+    if (ftl.IsMapped(0, lba) && rng.Chance(0.5) &&
+        ftl.DeltaWritePossible(0, lba)) {
+      // Delta append carrying the new version in its first 8 bytes.
+      uint8_t delta[8];
+      EncodeU32(delta, static_cast<uint32_t>(lba));
+      EncodeU32(delta + 4, version[lba]);
+      uint32_t appends =
+          dev.geometry().max_programs_per_page -
+          dev.page_state(ftl.PhysicalOf(0, lba)).program_count;
+      uint32_t slot = dev.geometry().max_programs_per_page - appends - 1;
+      Status s = ftl.WriteDelta(0, lba, rc.delta_area_offset + slot * 12, delta,
+                                8);
+      if (!s.ok()) {
+        version[lba]--;  // append rejected; retry as a rewrite next time
+        continue;
+      }
+    } else {
+      std::memset(page.data(), 0, rc.delta_area_offset);
+      EncodeU32(page.data(), static_cast<uint32_t>(lba));
+      EncodeU32(page.data() + 4, version[lba]);
+      ASSERT_TRUE(ftl.WritePage(0, lba, page.data()).ok()) << "op " << op;
+    }
+  }
+
+  const RegionStats& st = ftl.region_stats(0);
+  EXPECT_GT(st.gc_erases, 50u);  // the GC really cycled
+  EXPECT_GT(st.host_delta_writes, 1000u);
+
+  // Integrity: every mapped page carries its lba and the latest version —
+  // either in the body (last rewrite) or in the newest delta record.
+  std::vector<uint8_t> buf(1024);
+  for (Lba lba = 0; lba < 1500; lba++) {
+    if (!ftl.IsMapped(0, lba)) continue;
+    ASSERT_TRUE(ftl.ReadPage(0, lba, buf.data()).ok());
+    EXPECT_EQ(DecodeU32(buf.data()), lba) << lba;
+    // Newest version: scan body + delta slots for the max version stamp.
+    uint32_t newest = DecodeU32(buf.data() + 4);
+    for (uint32_t slot = 0; slot < 7; slot++) {
+      uint32_t off = rc.delta_area_offset + slot * 12;
+      if (off + 8 > 1024) break;
+      if (DecodeU32(buf.data() + off) == lba) {
+        newest = std::max(newest, DecodeU32(buf.data() + off + 4));
+      }
+    }
+    EXPECT_EQ(newest, version[lba]) << "lba " << lba;
+  }
+}
+
+TEST(EnduranceTest, IpaExtendsDeviceLifetime) {
+  // The longevity claim, measured directly: identical churn with and
+  // without IPA; lifetime proxy = erases consumed for the same host work.
+  auto churn = [&](bool ipa) {
+    flash::FlashArray dev(Geo(), flash::SlcTiming());
+    NoFtl ftl(&dev);
+    RegionConfig rc;
+    rc.name = "life";
+    rc.logical_pages = 1024;
+    rc.ipa_mode = ipa ? IpaMode::kSlc : IpaMode::kOff;
+    rc.delta_area_offset = ipa ? 1024 - 96 : 0;
+    auto r = ftl.CreateRegion(rc);
+    EXPECT_TRUE(r.ok());
+    Rng rng(7);
+    std::vector<uint8_t> page(1024, 0);
+    if (ipa) std::memset(page.data() + rc.delta_area_offset, 0xFF, 96);
+    // Fill once.
+    for (Lba lba = 0; lba < 1024; lba++) {
+      (void)ftl.WritePage(0, lba, page.data());
+    }
+    // 12k small updates; with IPA most become appends.
+    uint8_t delta[4] = {0x12, 0x34, 0x56, 0x78};
+    for (int i = 0; i < 12000; i++) {
+      Lba lba = rng.Uniform(1024);
+      bool appended = false;
+      if (ipa && ftl.DeltaWritePossible(0, lba)) {
+        uint32_t count = dev.page_state(ftl.PhysicalOf(0, lba)).program_count;
+        Status s = ftl.WriteDelta(0, lba, rc.delta_area_offset + (count - 1) * 8,
+                                  delta, 4);
+        appended = s.ok();
+      }
+      if (!appended) {
+        page[8] = static_cast<uint8_t>(i);
+        (void)ftl.WritePage(0, lba, page.data());
+      }
+    }
+    return ftl.region_stats(0).gc_erases;
+  };
+
+  uint64_t erases_traditional = churn(false);
+  uint64_t erases_ipa = churn(true);
+  ASSERT_GT(erases_traditional, 0u);
+  // Section 8.4 "Longevity": the reduction in erases per unit of host work
+  // directly multiplies device lifetime; the paper reports ~2x.
+  EXPECT_LT(erases_ipa * 2, erases_traditional);
+}
+
+}  // namespace
+}  // namespace ipa::ftl

@@ -1,0 +1,322 @@
+// Unit tests for the NAND flash emulator: geometry, ISPP program semantics,
+// write_delta, MLC page pairing, erase/wear, timing, and error injection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "flash/flash_array.h"
+
+namespace ipa::flash {
+namespace {
+
+Geometry SmallSlc() {
+  Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 8;
+  g.pages_per_block = 16;
+  g.page_size = 512;
+  g.oob_size = 64;
+  g.cell_type = CellType::kSlc;
+  g.max_programs_per_page = 4;
+  return g;
+}
+
+Geometry SmallMlc() {
+  Geometry g = SmallSlc();
+  g.cell_type = CellType::kMlc;
+  return g;
+}
+
+std::vector<uint8_t> Pattern(uint32_t n, uint8_t seed) {
+  std::vector<uint8_t> v(n);
+  for (uint32_t i = 0; i < n; i++) v[i] = static_cast<uint8_t>(seed + i * 7);
+  return v;
+}
+
+TEST(GeometryTest, AddressRoundTrip) {
+  Geometry g = SmallSlc();
+  for (Ppn ppn : {Ppn{0}, Ppn{17}, Ppn{128}, g.total_pages() - 1}) {
+    PageAddress a = FromPpn(g, ppn);
+    EXPECT_EQ(ToPpn(g, a), ppn);
+    EXPECT_LT(a.chip, g.total_chips());
+    EXPECT_LT(a.block, g.blocks_per_chip);
+    EXPECT_LT(a.page, g.pages_per_block);
+  }
+}
+
+TEST(GeometryTest, CapacityMath) {
+  Geometry g = SmallSlc();
+  EXPECT_EQ(g.total_chips(), 4u);
+  EXPECT_EQ(g.total_blocks(), 32u);
+  EXPECT_EQ(g.total_pages(), 512u);
+  EXPECT_EQ(g.capacity_bytes(), 512u * 512u);
+}
+
+TEST(GeometryTest, MlcPairing) {
+  Geometry g = SmallMlc();
+  EXPECT_TRUE(IsLsbPage(g, 0));
+  EXPECT_FALSE(IsLsbPage(g, 1));
+  EXPECT_TRUE(IsLsbPage(g, 2));
+  EXPECT_EQ(MsbPartnerOf(g, 0), 3u);
+  EXPECT_EQ(MsbPartnerOf(g, 2), 5u);
+  EXPECT_EQ(WordlineOf(g, 0), 0u);
+  EXPECT_EQ(WordlineOf(g, 2), 1u);
+}
+
+TEST(GeometryTest, SlcEveryPageIsLsb) {
+  Geometry g = SmallSlc();
+  for (uint32_t p = 0; p < g.pages_per_block; p++) {
+    EXPECT_TRUE(IsLsbPage(g, p));
+  }
+}
+
+TEST(FlashArrayTest, ErasedPageReadsAllOnes) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> buf(g.page_size, 0);
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xFF);
+}
+
+TEST(FlashArrayTest, ProgramReadRoundTrip) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  auto data = Pattern(g.page_size, 3);
+  ASSERT_TRUE(dev.ProgramPage(7, data.data()).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  ASSERT_TRUE(dev.ReadPage(7, buf.data()).ok());
+  EXPECT_EQ(buf, data);
+  EXPECT_EQ(dev.stats().page_programs, 1u);
+  EXPECT_EQ(dev.stats().page_reads, 1u);
+}
+
+TEST(FlashArrayTest, IsppRejectsZeroToOne) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> zeros(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(0, zeros.data()).ok());
+  std::vector<uint8_t> ones(g.page_size, 0x01);  // needs 0 -> 1: illegal
+  Status s = dev.ProgramPage(0, ones.data());
+  EXPECT_TRUE(s.IsNotSupported());
+  EXPECT_EQ(dev.stats().ispp_rejections, 1u);
+}
+
+TEST(FlashArrayTest, IsppAllowsOneToZeroReprogram) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> first(g.page_size, 0xF0);
+  ASSERT_TRUE(dev.ProgramPage(0, first.data()).ok());
+  std::vector<uint8_t> second(g.page_size, 0x30);  // clears more bits only
+  EXPECT_TRUE(dev.ProgramPage(0, second.data()).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x30);
+}
+
+TEST(FlashArrayTest, WriteDeltaAppendsIntoErasedRange) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  std::memset(page.data() + 400, 0xFF, 112);  // delta area left erased
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+
+  uint8_t delta[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(dev.ProgramDelta(0, 400, delta, 8).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data() + 400, delta, 8), 0);
+  EXPECT_EQ(buf[399], 0x00);   // body untouched
+  EXPECT_EQ(buf[408], 0xFF);   // rest of delta area still erased
+  EXPECT_EQ(dev.stats().delta_programs, 1u);
+  EXPECT_EQ(dev.stats().delta_bytes_programmed, 8u);
+}
+
+TEST(FlashArrayTest, WriteDeltaRejectsProgrammedRange) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+  uint8_t delta[4] = {0xAB, 0xCD, 0xEF, 0x01};
+  Status s = dev.ProgramDelta(0, 100, delta, 4);
+  EXPECT_TRUE(s.IsNotSupported());
+}
+
+TEST(FlashArrayTest, WriteDeltaRejectsErasedPage) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  uint8_t delta[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(dev.ProgramDelta(0, 0, delta, 4).IsInvalidArgument());
+}
+
+TEST(FlashArrayTest, ProgramBudgetEnforced) {
+  Geometry g = SmallSlc();
+  g.max_programs_per_page = 3;
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  std::memset(page.data() + 256, 0xFF, 256);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());  // program #1
+  uint8_t d[1] = {0x11};
+  ASSERT_TRUE(dev.ProgramDelta(0, 256, d, 1).ok());   // #2
+  ASSERT_TRUE(dev.ProgramDelta(0, 257, d, 1).ok());   // #3
+  EXPECT_TRUE(dev.ProgramDelta(0, 258, d, 1).IsNotSupported());  // over budget
+}
+
+TEST(FlashArrayTest, MlcRejectsDeltaOnMsbPage) {
+  Geometry g = SmallMlc();
+  FlashArray dev(g, MlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  std::memset(page.data() + 256, 0xFF, 256);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());  // LSB page 0
+  ASSERT_TRUE(dev.ProgramPage(1, page.data()).ok());  // MSB page 1
+  uint8_t d[2] = {0x12, 0x34};
+  EXPECT_TRUE(dev.ProgramDelta(0, 256, d, 2).ok());
+  EXPECT_TRUE(dev.ProgramDelta(1, 256, d, 2).IsNotSupported());
+}
+
+TEST(FlashArrayTest, MlcRequiresInOrderInitialPrograms) {
+  Geometry g = SmallMlc();
+  FlashArray dev(g, MlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(5, page.data()).ok());
+  EXPECT_TRUE(dev.ProgramPage(3, page.data()).IsNotSupported());
+  EXPECT_TRUE(dev.ProgramPage(6, page.data()).ok());
+}
+
+TEST(FlashArrayTest, EraseResetsBlockAndCountsWear) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+  ASSERT_TRUE(dev.EraseBlock(0).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xFF);
+  EXPECT_EQ(dev.EraseCount(0), 1u);
+  // Page is reprogrammable after erase.
+  EXPECT_TRUE(dev.ProgramPage(0, page.data()).ok());
+}
+
+TEST(FlashArrayTest, OobFollowsIsppRules) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+  uint8_t ecc1[3] = {0x12, 0x34, 0x56};
+  ASSERT_TRUE(dev.ProgramOob(0, 0, ecc1, 3).ok());
+  uint8_t ecc2[3] = {0x78, 0x9A, 0xBC};
+  ASSERT_TRUE(dev.ProgramOob(0, 3, ecc2, 3).ok());  // disjoint: fine
+  EXPECT_TRUE(dev.ProgramOob(0, 0, ecc2, 3).IsNotSupported());  // overlap 0->1
+  uint8_t out[6];
+  ASSERT_TRUE(dev.ReadOob(0, out, 6).ok());
+  EXPECT_EQ(std::memcmp(out, ecc1, 3), 0);
+  EXPECT_EQ(std::memcmp(out + 3, ecc2, 3), 0);
+}
+
+TEST(FlashArrayTest, TimingAdvancesClockOnSyncOps) {
+  Geometry g = SmallSlc();
+  TimingModel t = SlcTiming();
+  FlashArray dev(g, t);
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  SimTime before = dev.clock().Now();
+  IoTiming io;
+  ASSERT_TRUE(dev.ProgramPage(0, page.data(), nullptr, 0, &io, true).ok());
+  EXPECT_GT(dev.clock().Now(), before);
+  EXPECT_GE(io.LatencyUs(), t.program_lsb_us);
+}
+
+TEST(FlashArrayTest, AsyncOpsQueueBehindButDontBlock) {
+  Geometry g = SmallSlc();
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  TimingModel t = SlcTiming();
+  FlashArray dev(g, t);
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  // Async program: clock does not advance.
+  SimTime t0 = dev.clock().Now();
+  ASSERT_TRUE(dev.ProgramPage(0, page.data(), nullptr, 0, nullptr, false).ok());
+  EXPECT_EQ(dev.clock().Now(), t0);
+  // A following sync read on the same chip queues behind the program.
+  std::vector<uint8_t> buf(g.page_size);
+  IoTiming io;
+  ASSERT_TRUE(dev.ReadPage(0, buf.data(), &io, true).ok());
+  EXPECT_GE(io.LatencyUs(), t.program_lsb_us);  // waited for the program
+}
+
+TEST(FlashArrayTest, ChipParallelismReducesQueueing) {
+  // Two sync reads on different chips should not serialize on the array op.
+  Geometry g = SmallSlc();
+  TimingModel t = SlcTiming();
+  FlashArray dev1(g, t);
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  std::vector<uint8_t> buf(g.page_size);
+
+  // Saturate chip 0 with async reads, then read chip 1 (different channel).
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(dev1.ReadPage(0, buf.data(), nullptr, false).ok());
+  }
+  Ppn other_channel_ppn =
+      ToPpn(g, {g.chips_per_channel /* chip 2 -> channel 1 */, 0, 0});
+  IoTiming io;
+  ASSERT_TRUE(dev1.ReadPage(other_channel_ppn, buf.data(), &io, true).ok());
+  EXPECT_LT(io.LatencyUs(), 4 * t.read_us);
+}
+
+TEST(FlashArrayTest, RetentionErrorsInjectedAndCounted) {
+  Geometry g = SmallSlc();
+  ErrorModel e;
+  e.retention_flip_per_read = 1.0;  // force a flip attempt per read
+  FlashArray dev(g, SlcTiming(), e);
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  }
+  EXPECT_GT(dev.stats().retention_flips, 0u);
+  // Retention flips go 0 -> 1 (charge leaks away).
+  uint64_t ones = 0;
+  for (uint8_t b : buf) ones += static_cast<unsigned>(std::popcount(unsigned(b)));
+  EXPECT_EQ(ones, dev.stats().retention_flips);
+}
+
+TEST(FlashArrayTest, InterferenceHitsOnlyErasedRegionsOfMsbNeighbors) {
+  Geometry g = SmallMlc();
+  ErrorModel e;
+  e.interference_flip_per_delta = 1.0;
+  FlashArray dev(g, MlcTiming(), e);
+  // Program pages 0..7 in order: body 0x00, tail erased.
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  std::memset(page.data() + 384, 0xFF, g.page_size - 384);
+  for (uint32_t p = 0; p < 8; p++) {
+    ASSERT_TRUE(dev.ProgramPage(p, page.data()).ok());
+  }
+  // Delta append on LSB page 2 (wordline 1); neighbors: MSB pages on WL0/WL2.
+  uint8_t d[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(dev.ProgramDelta(2, 384, d, 4).ok());
+  EXPECT_GT(dev.stats().interference_flips, 0u);
+  // Verify no programmed body byte of any page was damaged.
+  std::vector<uint8_t> buf(g.page_size);
+  for (uint32_t p = 0; p < 8; p++) {
+    ASSERT_TRUE(dev.ReadPage(p, buf.data()).ok());
+    for (uint32_t i = 0; i < 384; i++) {
+      ASSERT_EQ(buf[i], 0x00) << "page " << p << " body byte " << i;
+    }
+  }
+}
+
+TEST(FlashArrayTest, InvalidAddressesRejected) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  std::vector<uint8_t> buf(g.page_size);
+  EXPECT_TRUE(dev.ReadPage(g.total_pages(), buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(dev.EraseBlock(g.total_blocks()).IsInvalidArgument());
+  uint8_t d[4] = {0};
+  EXPECT_TRUE(dev.ProgramDelta(0, g.page_size - 2, d, 4).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ipa::flash

@@ -1,0 +1,320 @@
+// Tests for the NoFTL layer: regions, mapping, write_delta, GC, modes, ECC.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ftl/noftl.h"
+
+namespace ipa::ftl {
+namespace {
+
+flash::Geometry SmallSlc() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 16;
+  g.pages_per_block = 16;
+  g.page_size = 512;
+  g.oob_size = 64;
+  g.cell_type = flash::CellType::kSlc;
+  g.max_programs_per_page = 4;
+  return g;
+}
+
+flash::Geometry SmallMlc() {
+  flash::Geometry g = SmallSlc();
+  g.cell_type = flash::CellType::kMlc;
+  return g;
+}
+
+std::vector<uint8_t> PageOf(uint32_t size, uint8_t fill, uint32_t delta_off) {
+  std::vector<uint8_t> p(size, fill);
+  std::memset(p.data() + delta_off, 0xFF, size - delta_off);
+  return p;
+}
+
+struct Fixture {
+  flash::FlashArray dev;
+  NoFtl ftl;
+  RegionId region = 0;
+  uint32_t delta_off;
+
+  explicit Fixture(flash::Geometry g, IpaMode mode = IpaMode::kSlc,
+                   uint64_t logical_pages = 128, bool ecc = false)
+      : dev(g, flash::TimingFor(g.cell_type)), ftl(&dev), delta_off(g.page_size - 96) {
+    RegionConfig rc;
+    rc.name = "test";
+    rc.logical_pages = logical_pages;
+    rc.ipa_mode = mode;
+    rc.delta_area_offset = mode == IpaMode::kOff ? 0 : delta_off;
+    rc.manage_ecc = ecc;
+    auto r = ftl.CreateRegion(rc);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    region = r.value();
+  }
+};
+
+TEST(NoFtlTest, UnwrittenPageReadsErased) {
+  Fixture f(SmallSlc());
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 5, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xFF);
+  EXPECT_FALSE(f.ftl.IsMapped(f.region, 5));
+}
+
+TEST(NoFtlTest, WriteReadRoundTrip) {
+  Fixture f(SmallSlc());
+  auto page = PageOf(512, 0x42, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 7, page.data()).ok());
+  EXPECT_TRUE(f.ftl.IsMapped(f.region, 7));
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 7, buf.data()).ok());
+  EXPECT_EQ(buf, page);
+  EXPECT_EQ(f.ftl.region_stats(f.region).host_page_writes, 1u);
+  EXPECT_EQ(f.ftl.region_stats(f.region).host_reads, 1u);
+}
+
+TEST(NoFtlTest, RewriteGoesOutOfPlace) {
+  Fixture f(SmallSlc());
+  auto page = PageOf(512, 0x11, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 3, page.data()).ok());
+  flash::Ppn first = f.ftl.PhysicalOf(f.region, 3);
+  page[100] = 0x22;
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 3, page.data()).ok());
+  flash::Ppn second = f.ftl.PhysicalOf(f.region, 3);
+  EXPECT_NE(first, second);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 3, buf.data()).ok());
+  EXPECT_EQ(buf[100], 0x22);
+}
+
+TEST(NoFtlTest, WriteDeltaStaysInPlace) {
+  Fixture f(SmallSlc());
+  auto page = PageOf(512, 0x00, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 3, page.data()).ok());
+  flash::Ppn before = f.ftl.PhysicalOf(f.region, 3);
+
+  uint8_t delta[6] = {1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 3, f.delta_off, delta, 6).ok());
+  EXPECT_EQ(f.ftl.PhysicalOf(f.region, 3), before);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 3, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data() + f.delta_off, delta, 6), 0);
+  EXPECT_EQ(f.ftl.region_stats(f.region).host_delta_writes, 1u);
+  EXPECT_DOUBLE_EQ(f.ftl.region_stats(f.region).IpaSharePercent(), 50.0);
+}
+
+TEST(NoFtlTest, WriteDeltaRejectedWhenIpaOff) {
+  Fixture f(SmallSlc(), IpaMode::kOff);
+  auto page = PageOf(512, 0x00, 512);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 0, page.data()).ok());
+  uint8_t d[2] = {1, 2};
+  EXPECT_TRUE(f.ftl.WriteDelta(f.region, 0, 400, d, 2).IsNotSupported());
+  EXPECT_FALSE(f.ftl.DeltaWritePossible(f.region, 0));
+}
+
+TEST(NoFtlTest, DeltaBudgetReflectsDeviceLimit) {
+  auto g = SmallSlc();
+  g.max_programs_per_page = 3;  // initial + 2 appends
+  Fixture f(g);
+  auto page = PageOf(512, 0x00, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 0, page.data()).ok());
+  EXPECT_EQ(f.ftl.DeltaAppendsRemaining(f.region, 0), 2u);
+  uint8_t d[1] = {0x01};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off, d, 1).ok());
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off + 1, d, 1).ok());
+  EXPECT_EQ(f.ftl.DeltaAppendsRemaining(f.region, 0), 0u);
+  EXPECT_TRUE(
+      f.ftl.WriteDelta(f.region, 0, f.delta_off + 2, d, 1).IsNotSupported());
+}
+
+TEST(NoFtlTest, GarbageCollectionReclaimsAndPreservesData) {
+  auto g = SmallSlc();
+  Fixture f(g, IpaMode::kSlc, /*logical_pages=*/256);
+  // Hammer a small logical range so invalid pages accumulate.
+  std::vector<uint8_t> buf(512);
+  for (uint32_t round = 0; round < 40; round++) {
+    for (ftl::Lba lba = 0; lba < 32; lba++) {
+      auto page = PageOf(512, static_cast<uint8_t>(round ^ lba), f.delta_off);
+      ASSERT_TRUE(f.ftl.WritePage(f.region, lba, page.data()).ok());
+    }
+  }
+  const RegionStats& st = f.ftl.region_stats(f.region);
+  EXPECT_GT(st.gc_erases, 0u);
+  // All data still correct after GC migrations.
+  for (ftl::Lba lba = 0; lba < 32; lba++) {
+    ASSERT_TRUE(f.ftl.ReadPage(f.region, lba, buf.data()).ok());
+    EXPECT_EQ(buf[0], static_cast<uint8_t>(39 ^ lba));
+  }
+}
+
+TEST(NoFtlTest, DeltaSurvivesGcMigration) {
+  auto g = SmallSlc();
+  Fixture f(g, IpaMode::kSlc, 256);
+  auto page = PageOf(512, 0x07, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 100, page.data()).ok());
+  uint8_t delta[4] = {9, 8, 7, 6};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 100, f.delta_off, delta, 4).ok());
+  // Force GC by churning other LBAs.
+  for (uint32_t round = 0; round < 60; round++) {
+    for (ftl::Lba lba = 0; lba < 16; lba++) {
+      auto p2 = PageOf(512, static_cast<uint8_t>(round), f.delta_off);
+      ASSERT_TRUE(f.ftl.WritePage(f.region, lba, p2.data()).ok());
+    }
+  }
+  ASSERT_GT(f.ftl.region_stats(f.region).gc_erases, 0u);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 100, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x07);
+  EXPECT_EQ(std::memcmp(buf.data() + f.delta_off, delta, 4), 0);
+}
+
+TEST(NoFtlTest, PSlcUsesOnlyLsbPages) {
+  Fixture f(SmallMlc(), IpaMode::kPSlc, 64);
+  const auto& g = f.dev.geometry();
+  for (ftl::Lba lba = 0; lba < 40; lba++) {
+    auto page = PageOf(512, static_cast<uint8_t>(lba), f.delta_off);
+    ASSERT_TRUE(f.ftl.WritePage(f.region, lba, page.data()).ok());
+    flash::Ppn ppn = f.ftl.PhysicalOf(f.region, lba);
+    EXPECT_TRUE(flash::IsLsbPage(g, static_cast<uint32_t>(ppn % g.pages_per_block)))
+        << "lba " << lba;
+  }
+  // Deltas work on every page in pSLC mode.
+  uint8_t d[2] = {0x21, 0x43};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 11, f.delta_off, d, 2).ok());
+}
+
+TEST(NoFtlTest, OddMlcFallsBackOnMsbPages) {
+  Fixture f(SmallMlc(), IpaMode::kOddMlc, 64);
+  const auto& g = f.dev.geometry();
+  uint32_t lsb_ok = 0, msb_rejected = 0;
+  uint8_t d[2] = {0x21, 0x43};
+  for (ftl::Lba lba = 0; lba < 32; lba++) {
+    auto page = PageOf(512, static_cast<uint8_t>(lba), f.delta_off);
+    ASSERT_TRUE(f.ftl.WritePage(f.region, lba, page.data()).ok());
+    flash::Ppn ppn = f.ftl.PhysicalOf(f.region, lba);
+    bool lsb = flash::IsLsbPage(g, static_cast<uint32_t>(ppn % g.pages_per_block));
+    Status s = f.ftl.WriteDelta(f.region, lba, f.delta_off, d, 2);
+    if (lsb) {
+      EXPECT_TRUE(s.ok()) << "lba " << lba;
+      lsb_ok++;
+    } else {
+      EXPECT_TRUE(s.IsNotSupported()) << "lba " << lba;
+      msb_rejected++;
+    }
+  }
+  EXPECT_GT(lsb_ok, 0u);
+  EXPECT_GT(msb_rejected, 0u);
+  EXPECT_EQ(f.ftl.region_stats(f.region).delta_fallbacks, msb_rejected);
+}
+
+TEST(NoFtlTest, ManagedEccDetectsAndFixesSingleBitErrors) {
+  auto g = SmallSlc();
+  flash::ErrorModel e;
+  e.retention_flip_per_read = 0.8;
+  flash::FlashArray dev(g, flash::SlcTiming(), e);
+  NoFtl ftl(&dev);
+  RegionConfig rc;
+  rc.name = "ecc";
+  rc.logical_pages = 32;
+  rc.ipa_mode = IpaMode::kSlc;
+  rc.delta_area_offset = g.page_size - 96;
+  rc.manage_ecc = true;
+  auto r = ftl.CreateRegion(rc);
+  ASSERT_TRUE(r.ok());
+
+  auto page = PageOf(512, 0x5C, rc.delta_area_offset);
+  ASSERT_TRUE(ftl.WritePage(r.value(), 0, page.data()).ok());
+  std::vector<uint8_t> buf(512);
+  uint64_t corrected = 0;
+  for (int i = 0; i < 40; i++) {
+    Status s = ftl.ReadPage(r.value(), 0, buf.data());
+    if (!s.ok()) break;  // accumulated >1 flip per segment: uncorrectable
+    for (uint32_t j = 0; j < rc.delta_area_offset; j++) {
+      ASSERT_EQ(buf[j], 0x5C) << "read " << i << " byte " << j;
+    }
+    corrected = ftl.region_stats(r.value()).ecc_corrected_bits;
+  }
+  EXPECT_GT(corrected, 0u);
+}
+
+TEST(NoFtlTest, ManagedEccCoversDeltas) {
+  auto g = SmallSlc();
+  Fixture f(g, IpaMode::kSlc, 32, /*ecc=*/true);
+  auto page = PageOf(512, 0x33, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 0, page.data()).ok());
+  uint8_t delta[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off, delta, 8).ok());
+  // Corrupt one bit of the delta directly in the array.
+  flash::Ppn ppn = f.ftl.PhysicalOf(f.region, 0);
+  auto& ps = const_cast<flash::PageState&>(f.dev.page_state(ppn));
+  ps.data[f.delta_off + 3] ^= 0x10;
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 0, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data() + f.delta_off, delta, 8), 0);
+  EXPECT_GE(f.ftl.region_stats(f.region).ecc_corrected_bits, 1u);
+}
+
+TEST(NoFtlTest, TrimUnmapsAndFreesSpace) {
+  Fixture f(SmallSlc());
+  auto page = PageOf(512, 0x01, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 9, page.data()).ok());
+  ASSERT_TRUE(f.ftl.Trim(f.region, 9).ok());
+  EXPECT_FALSE(f.ftl.IsMapped(f.region, 9));
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f.ftl.ReadPage(f.region, 9, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xFF);
+}
+
+TEST(NoFtlTest, MultipleRegionsAreIndependent) {
+  auto g = SmallSlc();
+  flash::FlashArray dev(g, flash::SlcTiming());
+  NoFtl ftl(&dev);
+  RegionConfig a;
+  a.name = "a";
+  a.logical_pages = 64;
+  RegionConfig b = a;
+  b.name = "b";
+  b.ipa_mode = IpaMode::kSlc;
+  b.delta_area_offset = 416;
+  auto ra = ftl.CreateRegion(a);
+  auto rb = ftl.CreateRegion(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+
+  std::vector<uint8_t> pa(512, 0xA0), pb(512, 0xB0);
+  std::memset(pb.data() + 416, 0xFF, 96);
+  ASSERT_TRUE(ftl.WritePage(ra.value(), 0, pa.data()).ok());
+  ASSERT_TRUE(ftl.WritePage(rb.value(), 0, pb.data()).ok());
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(ftl.ReadPage(ra.value(), 0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0xA0);
+  ASSERT_TRUE(ftl.ReadPage(rb.value(), 0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0xB0);
+  EXPECT_NE(flash::BlockOf(g, ftl.PhysicalOf(ra.value(), 0)),
+            flash::BlockOf(g, ftl.PhysicalOf(rb.value(), 0)));
+}
+
+TEST(NoFtlTest, RegionCreationValidation) {
+  auto g = SmallSlc();
+  flash::FlashArray dev(g, flash::SlcTiming());
+  NoFtl ftl(&dev);
+  RegionConfig rc;
+  rc.logical_pages = 0;
+  EXPECT_FALSE(ftl.CreateRegion(rc).ok());
+  rc.logical_pages = 64;
+  rc.ipa_mode = IpaMode::kPSlc;  // requires MLC
+  rc.delta_area_offset = 400;
+  EXPECT_FALSE(ftl.CreateRegion(rc).ok());
+  rc.ipa_mode = IpaMode::kSlc;
+  rc.delta_area_offset = 0;  // required for IPA
+  EXPECT_FALSE(ftl.CreateRegion(rc).ok());
+  rc.logical_pages = 1u << 20;  // larger than the device
+  rc.delta_area_offset = 400;
+  EXPECT_TRUE(ftl.CreateRegion(rc).status().IsOutOfSpace());
+}
+
+}  // namespace
+}  // namespace ipa::ftl

@@ -1,0 +1,141 @@
+// Tests for the In-Page Logging baseline simulator and the Appendix B
+// accounting it is compared with.
+
+#include <gtest/gtest.h>
+
+#include "ipl/comparison.h"
+#include "ipl/ipl_simulator.h"
+
+namespace ipa::ipl {
+namespace {
+
+using engine::IoEvent;
+
+IoEvent Fetch(uint64_t p) { return {IoEvent::Type::kFetch, p, 8192}; }
+IoEvent Update(uint64_t p, uint32_t n) { return {IoEvent::Type::kUpdate, p, n}; }
+IoEvent Evict(uint64_t p) { return {IoEvent::Type::kEvictOop, p, 8192}; }
+
+TEST(IplSimulatorTest, GeometryDerivation) {
+  IplSimulator sim;
+  // 64 * 2KB = 128KB unit; minus 8KB log region = 120KB -> 15 logical pages.
+  EXPECT_EQ(sim.data_pages_per_unit(), 15u);
+}
+
+TEST(IplSimulatorTest, FetchDoublesReadLoad) {
+  IplSimulator sim;
+  sim.Apply(Fetch(1));
+  sim.Apply(Fetch(2));
+  EXPECT_EQ(sim.stats().page_fetches, 2u);
+  EXPECT_EQ(sim.stats().physical_reads, 2u * 2 * 4);  // page + log region
+  EXPECT_NEAR(sim.ReadAmplification(), 2.0, 1e-9);    // no merges yet
+}
+
+TEST(IplSimulatorTest, EvictionFlushesSector) {
+  IplSimulator sim;
+  sim.Apply(Update(1, 10));
+  sim.Apply(Evict(1));
+  EXPECT_EQ(sim.stats().page_evictions, 1u);
+  EXPECT_EQ(sim.stats().physical_writes, 1u);  // one 512B partial write
+  EXPECT_EQ(sim.stats().merges, 0u);
+}
+
+TEST(IplSimulatorTest, SectorOverflowFlushesEarly) {
+  IplSimulator sim;
+  // 512B sector, 4B headers: 60 updates x 12B = 720B -> one mid-residence flush.
+  for (int i = 0; i < 60; i++) sim.Apply(Update(1, 8));
+  EXPECT_EQ(sim.stats().imlog_full_flushes, 1u);
+  sim.Apply(Evict(1));
+  EXPECT_EQ(sim.stats().physical_writes, 2u);
+}
+
+TEST(IplSimulatorTest, LogRegionFullTriggersMerge) {
+  IplSimulator sim;
+  // Unit 0 hosts pages 0..14 (first-touch). Its log region holds 16 sectors.
+  // 16 evictions with dirty sectors fill it -> exactly one merge.
+  for (int round = 0; round < 16; round++) {
+    uint64_t page = round % 15;
+    sim.Apply(Update(page, 16));
+    sim.Apply(Evict(page));
+  }
+  EXPECT_EQ(sim.stats().merges, 1u);
+  EXPECT_EQ(sim.stats().erases, 1u);
+  // Merge cost: read 16*4, write 15*4 physical pages.
+  EXPECT_GE(sim.stats().physical_reads, 64u);
+  EXPECT_GE(sim.stats().physical_writes, 16u + 60u);
+}
+
+TEST(IplSimulatorTest, MergesAreConstantCostPerLogOverflow) {
+  IplSimulator sim;
+  for (int round = 0; round < 160; round++) {
+    uint64_t page = round % 15;
+    sim.Apply(Update(page, 16));
+    sim.Apply(Evict(page));
+  }
+  EXPECT_EQ(sim.stats().merges, 10u);
+}
+
+TEST(IplSimulatorTest, SkewHurtsIpl) {
+  // Section 2.1: even if only one hot page in a unit is updated, the whole
+  // unit is merged. Hammering a single page merges as often as hammering
+  // all 15.
+  IplSimulator hot;
+  for (int i = 0; i < 160; i++) {
+    hot.Apply(Update(3, 16));
+    hot.Apply(Evict(3));
+  }
+  EXPECT_EQ(hot.stats().merges, 10u);
+}
+
+TEST(IplSimulatorTest, WriteAmplificationFormula) {
+  IplSimulator sim;
+  for (int round = 0; round < 32; round++) {
+    uint64_t page = round % 15;
+    sim.Apply(Update(page, 16));
+    sim.Apply(Evict(page));
+  }
+  const IplStats& st = sim.stats();
+  double expect = (static_cast<double>(st.merges) * 15 * 4 +
+                   static_cast<double>(st.imlog_full_flushes) +
+                   static_cast<double>(st.page_evictions)) /
+                  (static_cast<double>(st.page_evictions) * 4);
+  EXPECT_DOUBLE_EQ(sim.WriteAmplification(), expect);
+  EXPECT_GT(sim.WriteAmplification(), 0.25);  // at least the partial writes
+}
+
+TEST(IplSimulatorTest, FlushAllDrainsSectors) {
+  IplSimulator sim;
+  sim.Apply(Update(1, 8));
+  sim.Apply(Update(2, 8));
+  sim.FlushAll();
+  EXPECT_EQ(sim.stats().page_evictions, 2u);
+  EXPECT_EQ(sim.stats().physical_writes, 2u);
+}
+
+TEST(IpaAccountingTest, FormulasMatchAppendixB) {
+  std::vector<IoEvent> trace = {
+      Fetch(1), Update(1, 8), {IoEvent::Type::kEvictIpa, 1, 46},
+      Fetch(2), Update(2, 8), {IoEvent::Type::kEvictOop, 2, 8192},
+  };
+  ftl::RegionStats region;
+  region.gc_page_migrations = 3;
+  region.gc_erases = 1;
+  IpaAccounting acc = AccountIpa(trace, region, 4);
+  EXPECT_EQ(acc.page_fetches, 2u);
+  EXPECT_EQ(acc.write_deltas, 1u);
+  EXPECT_EQ(acc.out_of_place_writes, 1u);
+  // WA = (1*1 + 1*4 + 3*4) / (2*4) = 17/8
+  EXPECT_DOUBLE_EQ(acc.WriteAmplification(), 17.0 / 8.0);
+  // RA = (2 + 3) / 2
+  EXPECT_DOUBLE_EQ(acc.ReadAmplification(), 2.5);
+}
+
+TEST(IpaAccountingTest, NoGcMeansUnitReadAmplification) {
+  std::vector<IoEvent> trace = {Fetch(1), {IoEvent::Type::kEvictIpa, 1, 46}};
+  ftl::RegionStats region;
+  IpaAccounting acc = AccountIpa(trace, region, 4);
+  EXPECT_DOUBLE_EQ(acc.ReadAmplification(), 1.0);  // claim 1 of Section 2.1
+  EXPECT_DOUBLE_EQ(acc.WriteAmplification(), 0.25);
+}
+
+}  // namespace
+}  // namespace ipa::ipl

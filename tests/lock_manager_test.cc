@@ -1,0 +1,85 @@
+// Unit tests for the S/X lock manager.
+
+#include <gtest/gtest.h>
+
+#include "engine/lock_manager.h"
+
+namespace ipa::engine {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, 100, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).IsBusy());
+  EXPECT_TRUE(lm.Acquire(2, 101, LockMode::kExclusive).ok());  // other key
+}
+
+TEST(LockManagerTest, SharedBlocksExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ReentrantAndCovering) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());  // re-entrant
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());     // X covers S
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleSharer) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());  // upgrade
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).IsBusy());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharers) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 101, LockMode::kShared).ok());
+  EXPECT_EQ(lm.held_count(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.held_count(1), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(3, 101, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseAfterUpgradeLeavesNoResidue) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ManyKeysStressAndCleanup) {
+  LockManager lm;
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_TRUE(lm.Acquire(1, k, k % 2 ? LockMode::kShared
+                                       : LockMode::kExclusive).ok());
+  }
+  EXPECT_EQ(lm.held_count(1), 1000u);
+  lm.ReleaseAll(1);
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_TRUE(lm.Acquire(2, k, LockMode::kExclusive).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ipa::engine

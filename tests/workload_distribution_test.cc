@@ -1,0 +1,162 @@
+// Regression net for the paper's update-size analysis (Section 8.2,
+// Appendix A): the workload implementations must keep producing the
+// distribution *shapes* every experiment depends on. If a schema or
+// transaction-profile change breaks these, Table 1 / Figures 7-10 silently
+// drift — these tests fail instead.
+
+#include <gtest/gtest.h>
+
+#include "workload/linkbench.h"
+#include "workload/tatp.h"
+#include "workload/testbed.h"
+#include "workload/tpcb.h"
+#include "workload/tpcc.h"
+
+namespace ipa::workload {
+namespace {
+
+struct TraceResult {
+  SampleDistribution net;    // aggregated over all tables
+  SampleDistribution gross;
+  std::map<std::string, engine::UpdateSizeTrace> by_name;
+};
+
+template <typename W, typename C>
+TraceResult Collect(C wc, uint32_t page_size, storage::Scheme scheme,
+                    int txns) {
+  W sizing(nullptr, wc, SingleTablespace(0));
+  TestbedConfig tc;
+  tc.page_size = page_size;
+  tc.db_pages = sizing.EstimatedPages(page_size);
+  tc.scheme = scheme;
+  tc.buffer_fraction = 0.5;
+  tc.record_update_sizes = true;
+  auto bed = MakeTestbed(tc);
+  EXPECT_TRUE(bed.ok()) << bed.status().ToString();
+  W wl(bed.value()->db.get(), wc, bed.value()->ts_map());
+  EXPECT_TRUE(wl.Load().ok());
+  EXPECT_TRUE(bed.value()->db->Checkpoint().ok());
+  bed.value()->db->buffer_pool().mutable_update_traces().clear();
+  for (int i = 0; i < txns; i++) {
+    auto r = wl.RunTransaction();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_TRUE(bed.value()->db->Checkpoint().ok());
+
+  TraceResult out;
+  for (const auto& [table, trace] :
+       bed.value()->db->buffer_pool().update_traces()) {
+    out.net.Merge(trace.net);
+    out.gross.Merge(trace.gross);
+    out.by_name[bed.value()->db->table_name(table)] = trace;
+  }
+  return out;
+}
+
+TEST(DistributionTest, TpcbUpdatesAreFourByteDominated) {
+  TpcbConfig wc;
+  wc.accounts_per_branch = 8000;
+  auto r = Collect<Tpcb>(wc, 4096, {.n = 2, .m = 4, .v = 12}, 3000);
+  ASSERT_GT(r.net.total(), 500u);
+  // Paper Figure 7: 50-90% of update I/Os change <= 4 net bytes.
+  EXPECT_GE(r.net.PercentileOf(4), 50.0);
+  // And the ACCOUNT table specifically changes exactly the balance column.
+  const auto& acct = r.by_name.at("ACCOUNT");
+  EXPECT_LE(acct.net.ValueAtPercentile(50), 4u);
+}
+
+TEST(DistributionTest, TpccStockUpdatesAreThreeNetBytes) {
+  TpccConfig wc;
+  wc.items = 4000;
+  wc.customers_per_district = 120;
+  auto r = Collect<Tpcc>(wc, 4096, {.n = 2, .m = 3, .v = 12}, 2500);
+  ASSERT_GT(r.net.total(), 500u);
+  // Paper Appendix A.0.2: NewOrder modifies three numeric STOCK fields whose
+  // deltas are small — typically ~3 changed net bytes per stock page.
+  const auto& stock = r.by_name.at("STOCK");
+  ASSERT_GT(stock.net.total(), 100u);
+  EXPECT_LE(stock.net.ValueAtPercentile(50), 6u);
+  // Overall: the majority of update I/Os change < 10 net bytes (the
+  // headline claim of the paper's abstract).
+  EXPECT_GE(r.net.PercentileOf(10), 55.0);
+}
+
+TEST(DistributionTest, TpccMetadataFootprintFitsV12) {
+  TpccConfig wc;
+  wc.items = 3000;
+  wc.customers_per_district = 90;
+  auto r = Collect<Tpcc>(wc, 4096, {.n = 2, .m = 3, .v = 12}, 2000);
+  // Section 6.1: in practice V <= 12 for OLTP — most flushes change at most
+  // ~12 metadata bytes (PageLSN low bytes + slot-table updates).
+  SampleDistribution meta;
+  for (const auto& [name, trace] : r.by_name) meta.Merge(trace.meta);
+  ASSERT_GT(meta.total(), 500u);
+  EXPECT_GE(meta.PercentileOf(12), 60.0);
+}
+
+TEST(DistributionTest, TatpUpdatesAreTiny) {
+  TatpConfig wc;
+  wc.subscribers = 8000;
+  auto r = Collect<Tatp>(wc, 4096, {.n = 2, .m = 4, .v = 12}, 4000);
+  ASSERT_GT(r.net.total(), 200u);
+  // UpdateLocation changes a 4-byte field; UpdateSubscriberData two bytes.
+  EXPECT_GE(r.net.PercentileOf(4), 60.0);
+}
+
+TEST(DistributionTest, LinkbenchUpdatesAreLargerButMostlyUnder125Gross) {
+  LinkbenchConfig wc;
+  wc.nodes = 6000;
+  auto r = Collect<Linkbench>(wc, 8192, {.n = 2, .m = 100, .v = 14}, 4000);
+  ASSERT_GT(r.gross.total(), 300u);
+  // Paper Figure 10 / Table 1: LinkBench updates are much larger than TPC's
+  // but roughly half of them still fit 125 gross bytes.
+  EXPECT_GE(r.gross.PercentileOf(125), 45.0);
+  // ...and clearly heavier than TPC-B's (a shape relation, not a constant).
+  EXPECT_LE(r.gross.PercentileOf(4), 20.0);
+}
+
+TEST(DistributionTest, LargeBuffersAccumulateUpdatesUnderNonEagerEviction) {
+  // Table 11 / Figure 9: under the non-eager policy, a larger buffer lets
+  // pages accumulate more transactions' updates before flushing, shifting
+  // the update-size CDF right (smaller share of tiny flushes).
+  TpccConfig wc;
+  wc.items = 3000;
+  wc.customers_per_district = 90;
+  wc.seed = 77;
+  auto run = [&](double buffer) {
+    Tpcc sizing(nullptr, wc, SingleTablespace(0));
+    TestbedConfig tc;
+    tc.db_pages = sizing.EstimatedPages(4096);
+    tc.scheme = {.n = 2, .m = 3, .v = 12};
+    tc.buffer_fraction = buffer;
+    tc.record_update_sizes = true;
+    tc.dirty_flush_threshold = 0.75;  // non-eager
+    tc.log_reclaim_threshold = 0.98;
+    tc.growth_headroom = 4.0;
+    auto bed = MakeTestbed(tc);
+    EXPECT_TRUE(bed.ok());
+    Tpcc wl(bed.value()->db.get(), wc, bed.value()->ts_map());
+    EXPECT_TRUE(wl.Load().ok());
+    EXPECT_TRUE(bed.value()->db->Checkpoint().ok());
+    bed.value()->db->buffer_pool().mutable_update_traces().clear();
+    for (int i = 0; i < 4000; i++) {
+      EXPECT_TRUE(wl.RunTransaction().ok());
+    }
+    EXPECT_TRUE(bed.value()->db->buffer_pool().FlushAll().ok());
+    SampleDistribution net;
+    for (const auto& [t2, tr] : bed.value()->db->buffer_pool().update_traces()) {
+      net.Merge(tr.net);
+    }
+    return net;
+  };
+  SampleDistribution small = run(0.10);
+  SampleDistribution large = run(0.90);
+  ASSERT_GT(small.total(), 300u);
+  ASSERT_GT(large.total(), 100u);
+  // Share of tiny (<= 6 net bytes) flushes must drop with the larger buffer
+  // (paper: 80th percentile at 10% buffer vs 4th at 90%).
+  EXPECT_GT(small.PercentileOf(6), large.PercentileOf(6) + 10.0);
+}
+
+}  // namespace
+}  // namespace ipa::workload
