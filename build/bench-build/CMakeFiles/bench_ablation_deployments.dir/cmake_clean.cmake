@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_deployments"
+  "../bench/bench_ablation_deployments.pdb"
+  "CMakeFiles/bench_ablation_deployments.dir/bench_ablation_deployments.cc.o"
+  "CMakeFiles/bench_ablation_deployments.dir/bench_ablation_deployments.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overprovisioning"
+  "../bench/bench_ablation_overprovisioning.pdb"
+  "CMakeFiles/bench_ablation_overprovisioning.dir/bench_ablation_overprovisioning.cc.o"
+  "CMakeFiles/bench_ablation_overprovisioning.dir/bench_ablation_overprovisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overprovisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_v_sizing"
+  "../bench/bench_ablation_v_sizing.pdb"
+  "CMakeFiles/bench_ablation_v_sizing.dir/bench_ablation_v_sizing.cc.o"
+  "CMakeFiles/bench_ablation_v_sizing.dir/bench_ablation_v_sizing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_v_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

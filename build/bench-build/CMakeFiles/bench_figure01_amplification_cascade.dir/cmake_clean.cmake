@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure01_amplification_cascade"
+  "../bench/bench_figure01_amplification_cascade.pdb"
+  "CMakeFiles/bench_figure01_amplification_cascade.dir/bench_figure01_amplification_cascade.cc.o"
+  "CMakeFiles/bench_figure01_amplification_cascade.dir/bench_figure01_amplification_cascade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure01_amplification_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure06_linkbench_ipa_fraction"
+  "../bench/bench_figure06_linkbench_ipa_fraction.pdb"
+  "CMakeFiles/bench_figure06_linkbench_ipa_fraction.dir/bench_figure06_linkbench_ipa_fraction.cc.o"
+  "CMakeFiles/bench_figure06_linkbench_ipa_fraction.dir/bench_figure06_linkbench_ipa_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure06_linkbench_ipa_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

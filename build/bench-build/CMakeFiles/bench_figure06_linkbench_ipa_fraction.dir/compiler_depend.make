@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figure06_linkbench_ipa_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure08_tpcc_cdf_eager"
+  "../bench/bench_figure08_tpcc_cdf_eager.pdb"
+  "CMakeFiles/bench_figure08_tpcc_cdf_eager.dir/bench_figure08_tpcc_cdf_eager.cc.o"
+  "CMakeFiles/bench_figure08_tpcc_cdf_eager.dir/bench_figure08_tpcc_cdf_eager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure08_tpcc_cdf_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

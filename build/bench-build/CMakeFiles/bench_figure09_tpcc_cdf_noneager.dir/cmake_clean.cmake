@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure09_tpcc_cdf_noneager"
+  "../bench/bench_figure09_tpcc_cdf_noneager.pdb"
+  "CMakeFiles/bench_figure09_tpcc_cdf_noneager.dir/bench_figure09_tpcc_cdf_noneager.cc.o"
+  "CMakeFiles/bench_figure09_tpcc_cdf_noneager.dir/bench_figure09_tpcc_cdf_noneager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure09_tpcc_cdf_noneager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

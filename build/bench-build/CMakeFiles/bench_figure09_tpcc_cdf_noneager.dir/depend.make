@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure09_tpcc_cdf_noneager.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure10_linkbench_cdf"
+  "../bench/bench_figure10_linkbench_cdf.pdb"
+  "CMakeFiles/bench_figure10_linkbench_cdf.dir/bench_figure10_linkbench_cdf.cc.o"
+  "CMakeFiles/bench_figure10_linkbench_cdf.dir/bench_figure10_linkbench_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure10_linkbench_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table01_update_sizes"
+  "../bench/bench_table01_update_sizes.pdb"
+  "CMakeFiles/bench_table01_update_sizes.dir/bench_table01_update_sizes.cc.o"
+  "CMakeFiles/bench_table01_update_sizes.dir/bench_table01_update_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_update_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

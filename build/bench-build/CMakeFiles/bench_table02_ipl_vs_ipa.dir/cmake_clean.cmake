@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table02_ipl_vs_ipa"
+  "../bench/bench_table02_ipl_vs_ipa.pdb"
+  "CMakeFiles/bench_table02_ipl_vs_ipa.dir/bench_table02_ipl_vs_ipa.cc.o"
+  "CMakeFiles/bench_table02_ipl_vs_ipa.dir/bench_table02_ipl_vs_ipa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_ipl_vs_ipa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

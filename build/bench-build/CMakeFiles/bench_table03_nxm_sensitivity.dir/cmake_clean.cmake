@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_nxm_sensitivity"
+  "../bench/bench_table03_nxm_sensitivity.pdb"
+  "CMakeFiles/bench_table03_nxm_sensitivity.dir/bench_table03_nxm_sensitivity.cc.o"
+  "CMakeFiles/bench_table03_nxm_sensitivity.dir/bench_table03_nxm_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_nxm_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

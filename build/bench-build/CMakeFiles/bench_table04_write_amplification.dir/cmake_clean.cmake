@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_write_amplification"
+  "../bench/bench_table04_write_amplification.pdb"
+  "CMakeFiles/bench_table04_write_amplification.dir/bench_table04_write_amplification.cc.o"
+  "CMakeFiles/bench_table04_write_amplification.dir/bench_table04_write_amplification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

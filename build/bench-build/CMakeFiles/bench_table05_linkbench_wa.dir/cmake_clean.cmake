@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table05_linkbench_wa"
+  "../bench/bench_table05_linkbench_wa.pdb"
+  "CMakeFiles/bench_table05_linkbench_wa.dir/bench_table05_linkbench_wa.cc.o"
+  "CMakeFiles/bench_table05_linkbench_wa.dir/bench_table05_linkbench_wa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_linkbench_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_tpcb_emulator"
+  "../bench/bench_table07_tpcb_emulator.pdb"
+  "CMakeFiles/bench_table07_tpcb_emulator.dir/bench_table07_tpcb_emulator.cc.o"
+  "CMakeFiles/bench_table07_tpcb_emulator.dir/bench_table07_tpcb_emulator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_tpcb_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_tpcc_openssd"
+  "../bench/bench_table08_tpcc_openssd.pdb"
+  "CMakeFiles/bench_table08_tpcc_openssd.dir/bench_table08_tpcc_openssd.cc.o"
+  "CMakeFiles/bench_table08_tpcc_openssd.dir/bench_table08_tpcc_openssd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_tpcc_openssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table09_tpcc_buffers_eager"
+  "../bench/bench_table09_tpcc_buffers_eager.pdb"
+  "CMakeFiles/bench_table09_tpcc_buffers_eager.dir/bench_table09_tpcc_buffers_eager.cc.o"
+  "CMakeFiles/bench_table09_tpcc_buffers_eager.dir/bench_table09_tpcc_buffers_eager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_tpcc_buffers_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

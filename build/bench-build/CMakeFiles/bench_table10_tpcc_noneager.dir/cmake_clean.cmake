@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_tpcc_noneager"
+  "../bench/bench_table10_tpcc_noneager.pdb"
+  "CMakeFiles/bench_table10_tpcc_noneager.dir/bench_table10_tpcc_noneager.cc.o"
+  "CMakeFiles/bench_table10_tpcc_noneager.dir/bench_table10_tpcc_noneager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_tpcc_noneager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

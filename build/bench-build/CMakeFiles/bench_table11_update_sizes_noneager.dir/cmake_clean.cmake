@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_update_sizes_noneager"
+  "../bench/bench_table11_update_sizes_noneager.pdb"
+  "CMakeFiles/bench_table11_update_sizes_noneager.dir/bench_table11_update_sizes_noneager.cc.o"
+  "CMakeFiles/bench_table11_update_sizes_noneager.dir/bench_table11_update_sizes_noneager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_update_sizes_noneager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/ipa_bench_harness.dir/harness.cc.o.d"
+  "libipa_bench_harness.a"
+  "libipa_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

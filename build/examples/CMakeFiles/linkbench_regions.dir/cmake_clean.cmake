@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkbench_regions.dir/linkbench_regions.cpp.o"
+  "CMakeFiles/linkbench_regions.dir/linkbench_regions.cpp.o.d"
+  "linkbench_regions"
+  "linkbench_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkbench_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_common.dir/crc32.cc.o"
+  "CMakeFiles/ipa_common.dir/crc32.cc.o.d"
+  "CMakeFiles/ipa_common.dir/random.cc.o"
+  "CMakeFiles/ipa_common.dir/random.cc.o.d"
+  "CMakeFiles/ipa_common.dir/stats.cc.o"
+  "CMakeFiles/ipa_common.dir/stats.cc.o.d"
+  "CMakeFiles/ipa_common.dir/status.cc.o"
+  "CMakeFiles/ipa_common.dir/status.cc.o.d"
+  "libipa_common.a"
+  "libipa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/ipa_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/ipa_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/write_policy.cc" "src/core/CMakeFiles/ipa_core.dir/write_policy.cc.o" "gcc" "src/core/CMakeFiles/ipa_core.dir/write_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ipa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/ipa_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_core.dir/advisor.cc.o"
+  "CMakeFiles/ipa_core.dir/advisor.cc.o.d"
+  "CMakeFiles/ipa_core.dir/write_policy.cc.o"
+  "CMakeFiles/ipa_core.dir/write_policy.cc.o.d"
+  "libipa_core.a"
+  "libipa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

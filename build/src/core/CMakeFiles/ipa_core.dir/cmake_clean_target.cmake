@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipa_core.a"
+)

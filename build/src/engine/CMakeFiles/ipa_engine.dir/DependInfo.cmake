@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/ipa_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/ipa_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/ipa_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/ipa_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/ipa_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/ipa_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/lock_manager.cc" "src/engine/CMakeFiles/ipa_engine.dir/lock_manager.cc.o" "gcc" "src/engine/CMakeFiles/ipa_engine.dir/lock_manager.cc.o.d"
+  "/root/repo/src/engine/wal.cc" "src/engine/CMakeFiles/ipa_engine.dir/wal.cc.o" "gcc" "src/engine/CMakeFiles/ipa_engine.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ipa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ipa_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ipa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/ipa_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_engine.dir/btree.cc.o"
+  "CMakeFiles/ipa_engine.dir/btree.cc.o.d"
+  "CMakeFiles/ipa_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/ipa_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ipa_engine.dir/database.cc.o"
+  "CMakeFiles/ipa_engine.dir/database.cc.o.d"
+  "CMakeFiles/ipa_engine.dir/lock_manager.cc.o"
+  "CMakeFiles/ipa_engine.dir/lock_manager.cc.o.d"
+  "CMakeFiles/ipa_engine.dir/wal.cc.o"
+  "CMakeFiles/ipa_engine.dir/wal.cc.o.d"
+  "libipa_engine.a"
+  "libipa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

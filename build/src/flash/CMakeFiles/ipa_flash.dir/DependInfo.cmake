@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/ecc.cc" "src/flash/CMakeFiles/ipa_flash.dir/ecc.cc.o" "gcc" "src/flash/CMakeFiles/ipa_flash.dir/ecc.cc.o.d"
+  "/root/repo/src/flash/flash_array.cc" "src/flash/CMakeFiles/ipa_flash.dir/flash_array.cc.o" "gcc" "src/flash/CMakeFiles/ipa_flash.dir/flash_array.cc.o.d"
+  "/root/repo/src/flash/geometry.cc" "src/flash/CMakeFiles/ipa_flash.dir/geometry.cc.o" "gcc" "src/flash/CMakeFiles/ipa_flash.dir/geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_flash.dir/ecc.cc.o"
+  "CMakeFiles/ipa_flash.dir/ecc.cc.o.d"
+  "CMakeFiles/ipa_flash.dir/flash_array.cc.o"
+  "CMakeFiles/ipa_flash.dir/flash_array.cc.o.d"
+  "CMakeFiles/ipa_flash.dir/geometry.cc.o"
+  "CMakeFiles/ipa_flash.dir/geometry.cc.o.d"
+  "libipa_flash.a"
+  "libipa_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

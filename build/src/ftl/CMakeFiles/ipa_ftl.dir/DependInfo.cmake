@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/blackbox_ssd.cc" "src/ftl/CMakeFiles/ipa_ftl.dir/blackbox_ssd.cc.o" "gcc" "src/ftl/CMakeFiles/ipa_ftl.dir/blackbox_ssd.cc.o.d"
+  "/root/repo/src/ftl/noftl.cc" "src/ftl/CMakeFiles/ipa_ftl.dir/noftl.cc.o" "gcc" "src/ftl/CMakeFiles/ipa_ftl.dir/noftl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/ipa_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

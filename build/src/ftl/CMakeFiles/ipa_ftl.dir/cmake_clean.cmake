@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_ftl.dir/blackbox_ssd.cc.o"
+  "CMakeFiles/ipa_ftl.dir/blackbox_ssd.cc.o.d"
+  "CMakeFiles/ipa_ftl.dir/noftl.cc.o"
+  "CMakeFiles/ipa_ftl.dir/noftl.cc.o.d"
+  "libipa_ftl.a"
+  "libipa_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

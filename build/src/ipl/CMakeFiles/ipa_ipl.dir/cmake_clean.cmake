@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_ipl.dir/comparison.cc.o"
+  "CMakeFiles/ipa_ipl.dir/comparison.cc.o.d"
+  "CMakeFiles/ipa_ipl.dir/ipl_simulator.cc.o"
+  "CMakeFiles/ipa_ipl.dir/ipl_simulator.cc.o.d"
+  "libipa_ipl.a"
+  "libipa_ipl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_ipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

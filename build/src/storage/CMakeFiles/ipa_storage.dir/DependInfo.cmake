@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/delta_record.cc" "src/storage/CMakeFiles/ipa_storage.dir/delta_record.cc.o" "gcc" "src/storage/CMakeFiles/ipa_storage.dir/delta_record.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/storage/CMakeFiles/ipa_storage.dir/slotted_page.cc.o" "gcc" "src/storage/CMakeFiles/ipa_storage.dir/slotted_page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

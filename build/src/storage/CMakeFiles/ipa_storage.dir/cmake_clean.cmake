@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_storage.dir/delta_record.cc.o"
+  "CMakeFiles/ipa_storage.dir/delta_record.cc.o.d"
+  "CMakeFiles/ipa_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/ipa_storage.dir/slotted_page.cc.o.d"
+  "libipa_storage.a"
+  "libipa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/linkbench.cc" "src/workload/CMakeFiles/ipa_workload.dir/linkbench.cc.o" "gcc" "src/workload/CMakeFiles/ipa_workload.dir/linkbench.cc.o.d"
+  "/root/repo/src/workload/tatp.cc" "src/workload/CMakeFiles/ipa_workload.dir/tatp.cc.o" "gcc" "src/workload/CMakeFiles/ipa_workload.dir/tatp.cc.o.d"
+  "/root/repo/src/workload/testbed.cc" "src/workload/CMakeFiles/ipa_workload.dir/testbed.cc.o" "gcc" "src/workload/CMakeFiles/ipa_workload.dir/testbed.cc.o.d"
+  "/root/repo/src/workload/tpcb.cc" "src/workload/CMakeFiles/ipa_workload.dir/tpcb.cc.o" "gcc" "src/workload/CMakeFiles/ipa_workload.dir/tpcb.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/workload/CMakeFiles/ipa_workload.dir/tpcc.cc.o" "gcc" "src/workload/CMakeFiles/ipa_workload.dir/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ipa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ipa_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/ipa_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ipa_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_workload.dir/linkbench.cc.o"
+  "CMakeFiles/ipa_workload.dir/linkbench.cc.o.d"
+  "CMakeFiles/ipa_workload.dir/tatp.cc.o"
+  "CMakeFiles/ipa_workload.dir/tatp.cc.o.d"
+  "CMakeFiles/ipa_workload.dir/testbed.cc.o"
+  "CMakeFiles/ipa_workload.dir/testbed.cc.o.d"
+  "CMakeFiles/ipa_workload.dir/tpcb.cc.o"
+  "CMakeFiles/ipa_workload.dir/tpcb.cc.o.d"
+  "CMakeFiles/ipa_workload.dir/tpcc.cc.o"
+  "CMakeFiles/ipa_workload.dir/tpcc.cc.o.d"
+  "libipa_workload.a"
+  "libipa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_ssd_test.dir/blackbox_ssd_test.cc.o"
+  "CMakeFiles/blackbox_ssd_test.dir/blackbox_ssd_test.cc.o.d"
+  "blackbox_ssd_test"
+  "blackbox_ssd_test.pdb"
+  "blackbox_ssd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_ssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_test.dir/endurance_test.cc.o"
+  "CMakeFiles/endurance_test.dir/endurance_test.cc.o.d"
+  "endurance_test"
+  "endurance_test.pdb"
+  "endurance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

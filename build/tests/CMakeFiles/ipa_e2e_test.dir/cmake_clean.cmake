@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_e2e_test.dir/ipa_e2e_test.cc.o"
+  "CMakeFiles/ipa_e2e_test.dir/ipa_e2e_test.cc.o.d"
+  "ipa_e2e_test"
+  "ipa_e2e_test.pdb"
+  "ipa_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

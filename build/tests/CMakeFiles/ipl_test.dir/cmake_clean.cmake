@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipl_test.dir/ipl_test.cc.o"
+  "CMakeFiles/ipl_test.dir/ipl_test.cc.o.d"
+  "ipl_test"
+  "ipl_test.pdb"
+  "ipl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

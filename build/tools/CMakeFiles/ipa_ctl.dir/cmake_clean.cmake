@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_ctl.dir/ipa_ctl.cc.o"
+  "CMakeFiles/ipa_ctl.dir/ipa_ctl.cc.o.d"
+  "ipa_ctl"
+  "ipa_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
