@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -16,8 +17,7 @@ int Run() {
   std::printf(
       "Ablation: over-provisioning sensitivity (TPC-C, 20%% buffer).\n\n");
 
-  TablePrinter t({"Config", "erases/host-write", "migr/host-write",
-                  "read lat [ms]", "IPA share [%]"});
+  std::vector<RunConfig> configs;
   for (double op : {0.05, 0.10, 0.20}) {
     for (bool ipa : {false, true}) {
       RunConfig rc;
@@ -26,7 +26,17 @@ int Run() {
       rc.over_provisioning = op;
       if (ipa) rc.scheme = {.n = 2, .m = 3, .v = 12};
       rc.txns = DefaultTxns(Wl::kTpcc);
-      auto r = RunWorkload(rc);
+      configs.push_back(rc);
+    }
+  }
+  auto results = RunMany(configs);
+
+  TablePrinter t({"Config", "erases/host-write", "migr/host-write",
+                  "read lat [ms]", "IPA share [%]"});
+  size_t idx = 0;
+  for (double op : {0.05, 0.10, 0.20}) {
+    for (bool ipa : {false, true}) {
+      const auto& r = results[idx++];
       if (!r.ok()) {
         std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
         return 1;

@@ -8,29 +8,37 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
 
 int Run() {
   std::printf("Ablation: metadata budget V under TPC-C [2x3] (20%% buffer).\n\n");
-  TablePrinter t({"V", "IPA share [%]", "space overhead [%]",
-                  "erases/host-write", "record bytes"});
+  std::vector<RunConfig> configs;
   for (uint8_t v : {2, 4, 8, 12, 20, 30}) {
     RunConfig rc;
     rc.workload = Wl::kTpcc;
     rc.buffer_fraction = 0.20;
     rc.scheme = {.n = 2, .m = 3, .v = v};
     rc.txns = DefaultTxns(Wl::kTpcc);
-    auto r = RunWorkload(rc);
+    configs.push_back(rc);
+  }
+  auto results = RunMany(configs);
+
+  TablePrinter t({"V", "IPA share [%]", "space overhead [%]",
+                  "erases/host-write", "record bytes"});
+  for (size_t i = 0; i < results.size(); i++) {
+    const auto& r = results[i];
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
       return 1;
     }
-    t.AddRow({std::to_string(v), Fmt(r.value().ipa_share_pct, 1),
+    const storage::Scheme& s = configs[i].scheme;
+    t.AddRow({std::to_string(s.v), Fmt(r.value().ipa_share_pct, 1),
               Fmt(r.value().space_overhead_pct, 2),
               Fmt(r.value().erases_per_host_write, 4),
-              std::to_string(rc.scheme.RecordBytes())});
+              std::to_string(s.RecordBytes())});
   }
   t.Print();
   std::printf(

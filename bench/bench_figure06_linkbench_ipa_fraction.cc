@@ -2,8 +2,10 @@
 // LinkBench, across buffer sizes 20% - 90% for N in 1..3 and M in {100,125}.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -21,9 +23,8 @@ int Run() {
   for (auto [n, m] : schemes) {
     header.push_back(std::to_string(n) + "x" + std::to_string(m));
   }
-  TablePrinter t(header);
+  std::vector<RunConfig> configs;
   for (double buf : buffers) {
-    std::vector<std::string> row{Fmt(100 * buf, 0) + "%"};
     for (auto [n, m] : schemes) {
       RunConfig rc;
       rc.workload = Wl::kLinkbench;
@@ -31,7 +32,17 @@ int Run() {
       rc.buffer_fraction = buf;
       rc.scheme = {.n = n, .m = m, .v = 14};
       rc.txns = DefaultTxns(Wl::kLinkbench);
-      auto r = RunWorkload(rc);
+      configs.push_back(rc);
+    }
+  }
+  auto results = RunMany(configs);
+
+  TablePrinter t(header);
+  size_t idx = 0;
+  for (double buf : buffers) {
+    std::vector<std::string> row{Fmt(100 * buf, 0) + "%"};
+    for (size_t k = 0; k < std::size(schemes); k++) {
+      const auto& r = results[idx++];
       row.push_back(r.ok() ? Fmt(r.value().ipa_share_pct, 1) : "err");
     }
     t.AddRow(row);

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -34,36 +35,29 @@ int Run() {
   tpcb.buffer_fraction = 0.75;
   tpcb.record_update_sizes = true;
   tpcb.txns = DefaultTxns(Wl::kTpcb);
-  auto rb = RunWorkload(tpcb);
-  if (!rb.ok()) {
-    std::fprintf(stderr, "TPC-B: %s\n", rb.status().ToString().c_str());
-    return 1;
-  }
 
   RunConfig tpcc = tpcb;
   tpcc.workload = Wl::kTpcc;
   tpcc.scheme = {.n = 2, .m = 3, .v = 12};
   tpcc.txns = DefaultTxns(Wl::kTpcc);
-  auto rc = RunWorkload(tpcc);
-  if (!rc.ok()) {
-    std::fprintf(stderr, "TPC-C: %s\n", rc.status().ToString().c_str());
-    return 1;
-  }
 
   RunConfig lb = tpcb;
   lb.workload = Wl::kLinkbench;
   lb.page_size = 8192;
   lb.scheme = {.n = 2, .m = 100, .v = 14};
   lb.txns = DefaultTxns(Wl::kLinkbench);
-  auto rl = RunWorkload(lb);
-  if (!rl.ok()) {
-    std::fprintf(stderr, "LinkBench: %s\n", rl.status().ToString().c_str());
-    return 1;
+
+  auto results = RunMany({tpcb, tpcc, lb});
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
   }
 
-  SampleDistribution db = Aggregate(rb.value(), /*gross=*/false);
-  SampleDistribution dc = Aggregate(rc.value(), /*gross=*/false);
-  SampleDistribution dl = Aggregate(rl.value(), /*gross=*/true);
+  SampleDistribution db = Aggregate(results[0].value(), /*gross=*/false);
+  SampleDistribution dc = Aggregate(results[1].value(), /*gross=*/false);
+  SampleDistribution dl = Aggregate(results[2].value(), /*gross=*/true);
 
   TablePrinter table({"Number of changed bytes", "TPC-B(1)", "TPC-C(1)",
                       "LinkBench(2)"});

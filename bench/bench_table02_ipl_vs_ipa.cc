@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 #include "ipl/comparison.h"
 #include "ipl/ipl_simulator.h"
 
@@ -39,6 +40,7 @@ int Run() {
   std::vector<double> ipa_wa, ipl_wa, ipa_ra, ipl_ra;
   std::vector<uint64_t> ipa_er, ipl_er;
 
+  std::vector<RunConfig> configs;
   for (const Row& row : rows) {
     RunConfig rc;
     rc.workload = row.workload;
@@ -47,12 +49,18 @@ int Run() {
     rc.buffer_fraction = 0.30;  // I/O-bound: plenty of fetches + evictions
     rc.record_io_trace = true;
     rc.txns = DefaultTxns(row.workload);
-    auto r = RunWorkload(rc);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s: %s\n", row.name, r.status().ToString().c_str());
+    configs.push_back(rc);
+  }
+  auto results = RunMany(configs);
+
+  for (size_t i = 0; i < results.size(); i++) {
+    const Row& row = rows[i];
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.name,
+                   results[i].status().ToString().c_str());
       return 1;
     }
-    const RunResult& res = r.value();
+    const RunResult& res = results[i].value();
 
     // IPA side, Appendix B accounting. The region stats cover the same
     // measurement phase that produced the trace.

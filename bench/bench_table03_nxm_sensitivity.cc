@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -20,71 +21,74 @@ int Run() {
       "Table 3: fraction of update IOs performed as IPA [%%], space overhead\n"
       "[%%], and reduction in erases per host write [%%] for NxM schemes.\n\n");
 
-  // Baselines.
+  // Collect the whole grid (both baselines + every scheme cell) as one
+  // parallel batch; cells are consumed in submission order below.
   RunConfig base_c;
   base_c.workload = Wl::kTpcc;
   base_c.buffer_fraction = 0.75;
   base_c.txns = DefaultTxns(Wl::kTpcc);
-  auto rb_c = RunWorkload(base_c);
-  if (!rb_c.ok()) {
-    std::fprintf(stderr, "baseline: %s\n", rb_c.status().ToString().c_str());
+
+  RunConfig base_l;
+  base_l.workload = Wl::kLinkbench;
+  base_l.page_size = 8192;
+  base_l.buffer_fraction = 0.75;
+  base_l.txns = DefaultTxns(Wl::kLinkbench);
+
+  std::vector<RunConfig> configs{base_c, base_l};
+  for (uint8_t n : {1, 2, 3, 4}) {
+    for (uint8_t m : {3, 4, 6, 10, 15, 20}) {
+      RunConfig rc = base_c;
+      rc.scheme = {.n = n, .m = m, .v = 12};
+      configs.push_back(rc);
+    }
+  }
+  for (uint8_t n : {1, 2, 3}) {
+    for (uint8_t m : {100, 125}) {
+      RunConfig rc = base_l;
+      rc.scheme = {.n = n, .m = m, .v = 14};
+      configs.push_back(rc);
+    }
+  }
+  auto results = RunMany(configs);
+
+  if (!results[0].ok()) {
+    std::fprintf(stderr, "baseline: %s\n",
+                 results[0].status().ToString().c_str());
     return 1;
   }
-  double base_ephw_c = rb_c.value().erases_per_host_write;
+  if (!results[1].ok()) {
+    std::fprintf(stderr, "lb baseline: %s\n",
+                 results[1].status().ToString().c_str());
+    return 1;
+  }
+  double base_ephw_c = results[0].value().erases_per_host_write;
+  double base_ephw_l = results[1].value().erases_per_host_write;
+  size_t idx = 2;
+
+  auto cell = [&](double base_ephw) {
+    const auto& r = results[idx++];
+    if (!r.ok()) return std::string("err");
+    double red = RelPercent(base_ephw, r.value().erases_per_host_write);
+    return Fmt(r.value().ipa_share_pct, 1) + " | " +
+           Fmt(r.value().space_overhead_pct, 1) + " | " + Pct(red, 0);
+  };
 
   std::printf("TPC-C (75%% buffer, 4KB pages, M = updated bytes in net data)\n");
   std::printf("cells: IPA share %% | space %% | erase/hw reduction %%\n");
   TablePrinter tc({"N\\M", "M=3", "M=4", "M=6", "M=10", "M=15", "M=20"});
   for (uint8_t n : {1, 2, 3, 4}) {
     std::vector<std::string> row{"N=" + std::to_string(n)};
-    for (uint8_t m : {3, 4, 6, 10, 15, 20}) {
-      RunConfig rc = base_c;
-      rc.scheme = {.n = n, .m = m, .v = 12};
-      auto r = RunWorkload(rc);
-      if (!r.ok()) {
-        row.push_back("err");
-        continue;
-      }
-      double red = RelPercent(base_ephw_c, r.value().erases_per_host_write);
-      row.push_back(Fmt(r.value().ipa_share_pct, 1) + " | " +
-                    Fmt(r.value().space_overhead_pct, 1) + " | " +
-                    Pct(red, 0));
-    }
+    for (int m = 0; m < 6; m++) row.push_back(cell(base_ephw_c));
     tc.AddRow(row);
   }
   tc.Print();
-
-  // LinkBench.
-  RunConfig base_l;
-  base_l.workload = Wl::kLinkbench;
-  base_l.page_size = 8192;
-  base_l.buffer_fraction = 0.75;
-  base_l.txns = DefaultTxns(Wl::kLinkbench);
-  auto rb_l = RunWorkload(base_l);
-  if (!rb_l.ok()) {
-    std::fprintf(stderr, "lb baseline: %s\n", rb_l.status().ToString().c_str());
-    return 1;
-  }
-  double base_ephw_l = rb_l.value().erases_per_host_write;
 
   std::printf(
       "\nLinkBench (75%% buffer, 8KB pages, M = updated bytes in whole page)\n");
   TablePrinter tl({"N\\M", "M=100", "M=125"});
   for (uint8_t n : {1, 2, 3}) {
     std::vector<std::string> row{"N=" + std::to_string(n)};
-    for (uint8_t m : {100, 125}) {
-      RunConfig rc = base_l;
-      rc.scheme = {.n = n, .m = m, .v = 14};
-      auto r = RunWorkload(rc);
-      if (!r.ok()) {
-        row.push_back("err");
-        continue;
-      }
-      double red = RelPercent(base_ephw_l, r.value().erases_per_host_write);
-      row.push_back(Fmt(r.value().ipa_share_pct, 1) + " | " +
-                    Fmt(r.value().space_overhead_pct, 1) + " | " +
-                    Pct(red, 0));
-    }
+    for (int m = 0; m < 2; m++) row.push_back(cell(base_ephw_l));
     tl.AddRow(row);
   }
   tl.Print();

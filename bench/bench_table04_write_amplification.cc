@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -37,6 +38,8 @@ int Run() {
                       "TPC-C 90%", "LinkBench 75%", "LinkBench 90%"});
   std::vector<std::string> row2{"IPA [2xM]"}, row3{"IPA [3xM]"};
 
+  // One batch: per (workload, buffer) cell a baseline plus [2xM] and [3xM].
+  std::vector<RunConfig> configs;
   for (const Col& col : cols) {
     for (double buf : buffers) {
       RunConfig base;
@@ -45,24 +48,30 @@ int Run() {
       base.buffer_fraction = buf;
       base.record_update_sizes = true;
       base.txns = DefaultTxns(col.workload);
-      auto rb = RunWorkload(base);
-      if (!rb.ok()) {
-        std::fprintf(stderr, "%s: %s\n", col.name,
-                     rb.status().ToString().c_str());
-        return 1;
-      }
-      double wa0 = rb.value().WriteAmplification();
-
+      configs.push_back(base);
       for (uint8_t n : {2, 3}) {
         RunConfig rc = base;
         rc.scheme = {.n = n, .m = col.m, .v = col.v};
-        auto r = RunWorkload(rc);
-        if (!r.ok()) {
+        configs.push_back(rc);
+      }
+    }
+  }
+  auto results = RunMany(configs);
+
+  size_t idx = 0;
+  for (const Col& col : cols) {
+    for (double buf : buffers) {
+      (void)buf;
+      for (int k = 0; k < 3; k++) {
+        if (!results[idx + k].ok()) {
           std::fprintf(stderr, "%s: %s\n", col.name,
-                       r.status().ToString().c_str());
+                       results[idx + k].status().ToString().c_str());
           return 1;
         }
-        double wan = r.value().WriteAmplification();
+      }
+      double wa0 = results[idx++].value().WriteAmplification();
+      for (uint8_t n : {2, 3}) {
+        double wan = results[idx++].value().WriteAmplification();
         std::string cell = wan > 0 ? Fmt(wa0 / wan, 2) : "n/a";
         (n == 2 ? row2 : row3).push_back(cell);
       }

@@ -3,8 +3,10 @@
 // {100,125}) across buffer sizes 20% - 90%.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -32,7 +34,9 @@ int Run() {
   }
   table.AddRow(space);
 
-  // Per-buffer WA-reduction rows.
+  // Per-buffer WA-reduction rows: one parallel batch of baseline + schemes
+  // per buffer point.
+  std::vector<RunConfig> configs;
   for (double buf : buffers) {
     RunConfig base;
     base.workload = Wl::kLinkbench;
@@ -40,20 +44,28 @@ int Run() {
     base.buffer_fraction = buf;
     base.record_update_sizes = true;
     base.txns = DefaultTxns(Wl::kLinkbench);
-    auto rb = RunWorkload(base);
-    if (!rb.ok()) {
-      std::fprintf(stderr, "baseline %.0f%%: %s\n", 100 * buf,
-                   rb.status().ToString().c_str());
-      return 1;
-    }
-    double wa0 = rb.value().WriteAmplification();
-
-    std::vector<std::string> row{"WA reduction, buffer " +
-                                 Fmt(100 * buf, 0) + "% [x]"};
+    configs.push_back(base);
     for (auto [n, m] : schemes) {
       RunConfig rc = base;
       rc.scheme = {.n = n, .m = m, .v = 14};
-      auto r = RunWorkload(rc);
+      configs.push_back(rc);
+    }
+  }
+  auto results = RunMany(configs);
+
+  size_t idx = 0;
+  for (double buf : buffers) {
+    if (!results[idx].ok()) {
+      std::fprintf(stderr, "baseline %.0f%%: %s\n", 100 * buf,
+                   results[idx].status().ToString().c_str());
+      return 1;
+    }
+    double wa0 = results[idx++].value().WriteAmplification();
+
+    std::vector<std::string> row{"WA reduction, buffer " +
+                                 Fmt(100 * buf, 0) + "% [x]"};
+    for (size_t k = 0; k < std::size(schemes); k++) {
+      const auto& r = results[idx++];
       if (!r.ok()) {
         row.push_back("err");
         continue;

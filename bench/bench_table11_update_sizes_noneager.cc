@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 namespace {
@@ -17,7 +18,7 @@ int Run() {
       "Cells: percentile rank of update I/Os changing <= N bytes.\n\n");
 
   const double buffers[] = {0.10, 0.20, 0.50, 0.75, 0.90};
-  std::vector<SampleDistribution> dists;
+  std::vector<RunConfig> configs;
   for (double buf : buffers) {
     RunConfig rc;
     rc.workload = Wl::kTpcc;
@@ -25,14 +26,21 @@ int Run() {
     rc.eager = false;
     rc.record_update_sizes = true;
     rc.txns = DefaultTxns(Wl::kTpcc);
-    auto r = RunWorkload(rc);
-    if (!r.ok()) {
-      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buf,
-                   r.status().ToString().c_str());
+    configs.push_back(rc);
+  }
+  auto results = RunMany(configs);
+
+  std::vector<SampleDistribution> dists;
+  for (size_t i = 0; i < results.size(); i++) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buffers[i],
+                   results[i].status().ToString().c_str());
       return 1;
     }
     SampleDistribution agg;
-    for (const auto& [table, trace] : r.value().traces) agg.Merge(trace.net);
+    for (const auto& [table, trace] : results[i].value().traces) {
+      agg.Merge(trace.net);
+    }
     dists.push_back(std::move(agg));
   }
 

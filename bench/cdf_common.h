@@ -7,16 +7,17 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "bench/parallel_runner.h"
 
 namespace ipa::bench {
 
-/// Run `workload` at each buffer fraction, aggregate per-flush update sizes
-/// (net or gross) across tables, and print CDF rows at log-spaced byte
-/// thresholds.
+/// Run `workload` at each buffer fraction (concurrently), aggregate
+/// per-flush update sizes (net or gross) across tables, and print CDF rows
+/// at log-spaced byte thresholds.
 inline int PrintUpdateSizeCdf(Wl workload, const std::vector<double>& buffers,
                               bool eager, bool gross, uint32_t page_size,
                               storage::Scheme scheme) {
-  std::vector<SampleDistribution> dists;
+  std::vector<RunConfig> configs;
   for (double buf : buffers) {
     RunConfig rc;
     rc.workload = workload;
@@ -26,14 +27,19 @@ inline int PrintUpdateSizeCdf(Wl workload, const std::vector<double>& buffers,
     rc.scheme = scheme;
     rc.record_update_sizes = true;
     rc.txns = DefaultTxns(workload);
-    auto r = RunWorkload(rc);
-    if (!r.ok()) {
-      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buf,
-                   r.status().ToString().c_str());
+    configs.push_back(rc);
+  }
+  auto results = RunMany(configs);
+
+  std::vector<SampleDistribution> dists;
+  for (size_t i = 0; i < results.size(); i++) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "buffer %.0f%%: %s\n", 100 * buffers[i],
+                   results[i].status().ToString().c_str());
       return 1;
     }
     SampleDistribution agg;
-    for (const auto& [table, trace] : r.value().traces) {
+    for (const auto& [table, trace] : results[i].value().traces) {
       agg.Merge(gross ? trace.gross : trace.net);
     }
     dists.push_back(std::move(agg));

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 
+#include "bench/parallel_runner.h"
 #include "workload/linkbench.h"
 #include "workload/tatp.h"
 #include "workload/tpcb.h"
@@ -82,7 +84,21 @@ std::unique_ptr<workload::Workload> MakeWorkload(
 
 }  // namespace
 
+void WarnIfDebugBuild() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "*** WARNING: this bench binary was built without "
+                 "optimization (Debug build).\n"
+                 "*** Wall-clock numbers are meaningless; configure with "
+                 "-DCMAKE_BUILD_TYPE=Release.\n");
+#endif
+  });
+}
+
 Result<RunResult> RunWorkload(const RunConfig& config) {
+  WarnIfDebugBuild();
   double scale = config.scale * workload::BenchScale();
 
   // Sizing pass: a throwaway workload instance estimates the DB footprint.
@@ -263,30 +279,24 @@ int PrintOpenSsdTable(Wl workload, storage::Scheme scheme) {
   // Fixed measurement interval (simulated): faster configurations execute
   // more transactions and thus more host I/O, as in the paper's runs.
   base.sim_time_us = static_cast<uint64_t>(20e6 * workload::BenchScale());
-  auto rb = RunWorkload(base);
-  if (!rb.ok()) {
-    std::fprintf(stderr, "baseline: %s\n", rb.status().ToString().c_str());
-    return 1;
-  }
   RunConfig pslc = base;
   pslc.profile = workload::Profile::kOpenSsdPSlc;
   pslc.scheme = scheme;
-  auto rp = RunWorkload(pslc);
-  if (!rp.ok()) {
-    std::fprintf(stderr, "pSLC: %s\n", rp.status().ToString().c_str());
-    return 1;
-  }
   RunConfig odd = base;
   odd.profile = workload::Profile::kOpenSsdOddMlc;
   odd.scheme = scheme;
-  auto ro = RunWorkload(odd);
-  if (!ro.ok()) {
-    std::fprintf(stderr, "odd-MLC: %s\n", ro.status().ToString().c_str());
-    return 1;
+  auto results = RunMany({base, pslc, odd});
+  const char* arm_names[] = {"baseline", "pSLC", "odd-MLC"};
+  for (size_t i = 0; i < results.size(); i++) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%s: %s\n", arm_names[i],
+                   results[i].status().ToString().c_str());
+      return 1;
+    }
   }
-  const RunResult& b = rb.value();
-  const RunResult& p = rp.value();
-  const RunResult& o = ro.value();
+  const RunResult& b = results[0].value();
+  const RunResult& p = results[1].value();
+  const RunResult& o = results[2].value();
 
   std::string nm = SchemeName(scheme);
   TablePrinter t({"Metric", "0x0 Absolute", nm + " Abs pSLC",
@@ -330,35 +340,47 @@ int PrintBufferSweepTable(Wl workload, const std::vector<SweepPoint>& points,
   }
   TablePrinter t(header);
 
-  struct Cell {
-    RunResult base;
-    std::vector<RunResult> schemes;
-  };
-  std::vector<Cell> cells;
+  // Collect the whole sweep (baseline + every scheme per buffer point) as
+  // one batch of independent configs, run it on the pool, then slice the
+  // ordered results back into cells.
+  std::vector<RunConfig> configs;
   for (const SweepPoint& pt : points) {
-    Cell cell;
     RunConfig rc;
     rc.workload = workload;
     rc.buffer_fraction = pt.buffer_fraction;
     rc.eager = eager;
     rc.txns = DefaultTxns(workload);
     rc.sim_time_us = static_cast<uint64_t>(10e6 * workload::BenchScale());
-    auto rb = RunWorkload(rc);
-    if (!rb.ok()) {
-      std::fprintf(stderr, "baseline %.0f%%: %s\n", 100 * pt.buffer_fraction,
-                   rb.status().ToString().c_str());
-      return 1;
-    }
-    cell.base = rb.value();
+    configs.push_back(rc);
     for (const auto& s : pt.schemes) {
       RunConfig rs = rc;
       rs.scheme = s;
-      auto r = RunWorkload(rs);
-      if (!r.ok()) {
-        std::fprintf(stderr, "scheme: %s\n", r.status().ToString().c_str());
+      configs.push_back(rs);
+    }
+  }
+  auto results = RunMany(configs);
+
+  struct Cell {
+    RunResult base;
+    std::vector<RunResult> schemes;
+  };
+  std::vector<Cell> cells;
+  size_t idx = 0;
+  for (const SweepPoint& pt : points) {
+    if (!results[idx].ok()) {
+      std::fprintf(stderr, "baseline %.0f%%: %s\n", 100 * pt.buffer_fraction,
+                   results[idx].status().ToString().c_str());
+      return 1;
+    }
+    Cell cell;
+    cell.base = std::move(results[idx++]).value();
+    for (size_t k = 0; k < pt.schemes.size(); k++) {
+      if (!results[idx].ok()) {
+        std::fprintf(stderr, "scheme: %s\n",
+                     results[idx].status().ToString().c_str());
         return 1;
       }
-      cell.schemes.push_back(r.value());
+      cell.schemes.push_back(std::move(results[idx++]).value());
     }
     cells.push_back(std::move(cell));
   }

@@ -100,6 +100,10 @@ struct RunResult {
 
 Result<RunResult> RunWorkload(const RunConfig& config);
 
+/// Print a loud one-time stderr warning when the bench harness was compiled
+/// without optimization (Debug build): timings would be meaningless.
+void WarnIfDebugBuild();
+
 /// Default measurement-phase transaction counts per workload, scaled by
 /// IPA_SCALE (kept small enough that every bench binary finishes quickly).
 uint64_t DefaultTxns(Wl w);

@@ -1,0 +1,171 @@
+#include "bench/parallel_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+namespace ipa::bench {
+
+namespace {
+
+// Timing registry for the IPA_BENCH_JSON report. This is the only mutable
+// process-global state in the bench stack; it lives outside the simulated
+// system and is only touched under g_timing_mu (see the shared-nothing audit
+// note in docs/ARCHITECTURE.md).
+std::mutex g_timing_mu;
+std::vector<RunTiming>& TimingStore() {
+  // Intentionally leaked: the store must outlive the atexit JSON writer,
+  // which runs after function-local statics are destroyed.
+  static auto* store = new std::vector<RunTiming>();
+  return *store;
+}
+double g_total_wall_ms = 0;
+unsigned g_last_jobs = 1;
+
+const char* BenchBinaryName() {
+#if defined(__GLIBC__)
+  return program_invocation_short_name;
+#else
+  return "bench";
+#endif
+}
+
+const char* ProfileName(workload::Profile p) {
+  switch (p) {
+    case workload::Profile::kEmulatorSlc: return "emulator-slc";
+    case workload::Profile::kOpenSsdPSlc: return "openssd-pslc";
+    case workload::Profile::kOpenSsdOddMlc: return "openssd-odd-mlc";
+    case workload::Profile::kOpenSsdNoIpa: return "openssd-no-ipa";
+  }
+  return "?";
+}
+
+void WriteBenchJsonAtExit() {
+  const char* path = std::getenv("IPA_BENCH_JSON");
+  if (!path || !*path) return;
+  if (!WriteBenchJson(path)) {
+    std::fprintf(stderr, "IPA_BENCH_JSON: cannot write %s\n", path);
+  }
+}
+
+void RegisterJsonAtExit() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(WriteBenchJsonAtExit); });
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+unsigned Jobs() {
+  if (const char* s = std::getenv("IPA_JOBS")) {
+    long v = std::strtol(s, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+std::vector<Result<RunResult>> RunMany(const std::vector<RunConfig>& configs,
+                                       unsigned jobs) {
+  RegisterJsonAtExit();
+  const size_t n = configs.size();
+  if (jobs == 0) jobs = Jobs();
+  unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(jobs, n == 0 ? 1 : n));
+
+  std::vector<std::optional<Result<RunResult>>> slots(n);
+  std::vector<double> wall(n, 0.0);
+  auto run_one = [&](size_t i) {
+    auto t0 = std::chrono::steady_clock::now();
+    slots[i].emplace(RunWorkload(configs[i]));
+    wall[i] = MillisSince(t0);
+  };
+
+  auto batch_t0 = std::chrono::steady_clock::now();
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; i++) run_one(i);
+  } else {
+    // Self-scheduling pool: workers steal the next unclaimed config, so a
+    // slow run does not serialize the rest. Results land in per-index slots,
+    // keeping submission order independent of completion order.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; w++) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  double batch_ms = MillisSince(batch_t0);
+
+  {
+    std::lock_guard<std::mutex> lock(g_timing_mu);
+    for (size_t i = 0; i < n; i++) {
+      TimingStore().push_back(
+          {configs[i], wall[i], slots[i].has_value() && (*slots[i]).ok()});
+    }
+    g_total_wall_ms += batch_ms;
+    g_last_jobs = workers;
+  }
+
+  std::vector<Result<RunResult>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    out.push_back(slots[i].has_value()
+                      ? std::move(*slots[i])
+                      : Result<RunResult>(Status::Internal("run not executed")));
+  }
+  return out;
+}
+
+const std::vector<RunTiming>& BenchTimings() { return TimingStore(); }
+
+bool WriteBenchJson(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_timing_mu);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", BenchBinaryName());
+  std::fprintf(f, "  \"jobs\": %u,\n", g_last_jobs);
+  std::fprintf(f, "  \"total_wall_ms\": %.3f,\n", g_total_wall_ms);
+  std::fprintf(f, "  \"runs\": [\n");
+  const std::vector<RunTiming>& runs = TimingStore();
+  for (size_t i = 0; i < runs.size(); i++) {
+    const RunConfig& c = runs[i].config;
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"scheme\": \"%ux%u\", \"profile\": "
+        "\"%s\", \"buffer_fraction\": %.4f, \"page_size\": %u, \"eager\": "
+        "%s, \"txns\": %llu, \"sim_time_us\": %llu, \"seed\": %llu, "
+        "\"over_provisioning\": %.4f, \"wall_ms\": %.3f, \"ok\": %s}%s\n",
+        WlName(c.workload), c.scheme.n, c.scheme.m, ProfileName(c.profile),
+        c.buffer_fraction, c.page_size, c.eager ? "true" : "false",
+        static_cast<unsigned long long>(c.txns),
+        static_cast<unsigned long long>(c.sim_time_us),
+        static_cast<unsigned long long>(c.seed), c.over_provisioning,
+        runs[i].wall_ms, runs[i].ok ? "true" : "false",
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ipa::bench

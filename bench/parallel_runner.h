@@ -1,0 +1,51 @@
+// Parallel experiment runner.
+//
+// Every RunConfig describes a fully self-contained, deterministic testbed
+// (its own FlashArray, SimClock, Rng and statistics objects — nothing in the
+// simulated stack is shared between runs), so independent configurations can
+// execute concurrently. RunMany() schedules a batch of configs on a small
+// self-scheduling thread pool and returns the results in submission order:
+// table output assembled from RunMany results is byte-identical to a serial
+// RunWorkload loop.
+//
+// Knobs (environment):
+//   IPA_JOBS        worker-thread count (default: hardware_concurrency)
+//   IPA_BENCH_JSON  path; when set, per-run and total wall-clock timings are
+//                   appended as machine-readable JSON at process exit (the
+//                   perf-trajectory baseline for future PRs)
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace ipa::bench {
+
+/// Worker threads used by RunMany: the IPA_JOBS environment variable when it
+/// parses to >= 1, otherwise std::thread::hardware_concurrency() (min 1).
+unsigned Jobs();
+
+/// Execute every config concurrently and return results in submission order.
+/// `jobs` == 0 means "use Jobs()"; `jobs` == 1 degenerates to a serial
+/// in-thread loop. Each batch is also recorded for the IPA_BENCH_JSON report.
+std::vector<Result<RunResult>> RunMany(const std::vector<RunConfig>& configs,
+                                       unsigned jobs = 0);
+
+/// One timed run, as recorded for the JSON report.
+struct RunTiming {
+  RunConfig config;
+  double wall_ms = 0;
+  bool ok = true;
+};
+
+/// All runs timed so far in this process (submission order across batches).
+const std::vector<RunTiming>& BenchTimings();
+
+/// Write the timing report for every RunMany batch so far to `path`. Returns
+/// false on I/O failure. Called automatically at process exit with the
+/// IPA_BENCH_JSON path when that variable is set.
+bool WriteBenchJson(const std::string& path);
+
+}  // namespace ipa::bench

@@ -1,5 +1,7 @@
 #include "core/write_policy.h"
 
+#include <cstring>
+
 #include "storage/slotted_page.h"
 
 namespace ipa::core {
@@ -16,6 +18,15 @@ const char* WritePathName(WritePath p) {
 EvictionDecision PlanEviction(const uint8_t* base, uint8_t* cur,
                               uint32_t page_size, bool flash_copy_exists,
                               bool device_appends_allowed, bool exact_diff) {
+  // Fast path: a byte-identical page needs no SlottedPage view and no diff.
+  // Frames are often redundantly marked dirty (e.g. aborted updates, eager
+  // cleaner passes); memcmp bails on the first differing word otherwise.
+  if (std::memcmp(base, cur, page_size) == 0) {
+    EvictionDecision clean;
+    clean.path = WritePath::kClean;
+    return clean;
+  }
+
   storage::SlottedPage view(cur, page_size);
   storage::Scheme scheme = view.scheme();
 

@@ -47,9 +47,23 @@ void BufferPool::Unfix(Frame* frame, bool dirtied, Lsn rec_lsn) {
       frame->dirty = true;
       dirty_count_++;
       frame->rec_lsn = rec_lsn;
+      TrackRecLsn(rec_lsn);
     } else if (frame->rec_lsn == kInvalidLsn) {
       frame->rec_lsn = rec_lsn;
+      TrackRecLsn(rec_lsn);
     }
+  }
+}
+
+void BufferPool::TrackRecLsn(Lsn lsn) {
+  if (lsn != kInvalidLsn) dirty_rec_lsns_[lsn]++;
+}
+
+void BufferPool::UntrackRecLsn(Lsn lsn) {
+  if (lsn == kInvalidLsn) return;
+  auto it = dirty_rec_lsns_.find(lsn);
+  if (it != dirty_rec_lsns_.end() && --it->second == 0) {
+    dirty_rec_lsns_.erase(it);
   }
 }
 
@@ -160,6 +174,7 @@ Status BufferPool::FlushFrame(Frame* frame, bool async) {
 
   std::memcpy(frame->base.data(), frame->cur.data(), config_.page_size);
   frame->dirty = false;
+  UntrackRecLsn(frame->rec_lsn);
   frame->rec_lsn = kInvalidLsn;
   if (dirty_count_ > 0) dirty_count_--;
   return Status::OK();
@@ -212,6 +227,7 @@ void BufferPool::DropAllNoFlush() {
     f.rec_lsn = kInvalidLsn;
   }
   dirty_count_ = 0;
+  dirty_rec_lsns_.clear();
 }
 
 void BufferPool::DropPageNoFlush(PageId id) {
@@ -219,20 +235,16 @@ void BufferPool::DropPageNoFlush(PageId id) {
   if (it == table_.end()) return;
   Frame& f = frames_[it->second];
   if (f.dirty && dirty_count_ > 0) dirty_count_--;
+  if (f.dirty) UntrackRecLsn(f.rec_lsn);
   f.valid = false;
   f.dirty = false;
   f.pins = 0;
+  f.rec_lsn = kInvalidLsn;
   table_.erase(it);
 }
 
 Lsn BufferPool::MinRecLsn() const {
-  Lsn min = kInvalidLsn;
-  for (const auto& f : frames_) {
-    if (f.valid && f.dirty && f.rec_lsn != kInvalidLsn && f.rec_lsn < min) {
-      min = f.rec_lsn;
-    }
-  }
-  return min;
+  return dirty_rec_lsns_.empty() ? kInvalidLsn : dirty_rec_lsns_.begin()->first;
 }
 
 }  // namespace ipa::engine

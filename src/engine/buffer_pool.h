@@ -126,13 +126,16 @@ class BufferPool {
   const BufferConfig& config() const { return config_; }
 
   /// Lowest rec_lsn across dirty frames (log-truncation bound), or
-  /// kInvalidLsn when no frame is dirty.
+  /// kInvalidLsn when no frame is dirty. O(1): served from the incrementally
+  /// maintained dirty-frame LSN index instead of scanning all frames.
   Lsn MinRecLsn() const;
 
  private:
   Result<Frame*> GetVictim();
   Status LoadFrame(Frame* frame, PageId id, bool for_format);
   void RecordTrace(const Frame& frame, const core::EvictionDecision& d);
+  void TrackRecLsn(Lsn lsn);
+  void UntrackRecLsn(Lsn lsn);
 
   BufferConfig config_;
   std::function<ftl::PageDevice*(TablespaceId)> device_of_;
@@ -142,6 +145,10 @@ class BufferPool {
   std::unordered_map<PageId, uint32_t> table_;  // page -> frame index
   uint32_t clock_hand_ = 0;
   uint32_t dirty_count_ = 0;
+  /// rec_lsn -> number of dirty frames first dirtied at that LSN; the lowest
+  /// key is MinRecLsn(). Maintained on every dirty/clean transition so the
+  /// log-truncation bound never costs an O(frames) scan.
+  std::map<Lsn, uint32_t> dirty_rec_lsns_;
   BufferStats stats_;
   std::map<TableId, UpdateSizeTrace> traces_;
 };

@@ -1,0 +1,150 @@
+// Determinism regression test for the parallel experiment runner: the same
+// RunConfig set executed serially and on a 4-worker pool must produce
+// field-for-field identical RunResults, in the same (submission) order —
+// the property that keeps parallel table output byte-identical to serial.
+
+#include "bench/parallel_runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ipa::bench {
+namespace {
+
+std::vector<RunConfig> SmallConfigSet() {
+  std::vector<RunConfig> configs;
+
+  RunConfig tpcb;
+  tpcb.workload = Wl::kTpcb;
+  tpcb.scale = 0.05;
+  tpcb.txns = 400;
+  tpcb.buffer_fraction = 0.25;
+  configs.push_back(tpcb);
+
+  RunConfig tpcb_ipa = tpcb;
+  tpcb_ipa.scheme = {.n = 2, .m = 4, .v = 12};
+  configs.push_back(tpcb_ipa);
+
+  RunConfig tatp;
+  tatp.workload = Wl::kTatp;
+  tatp.scale = 0.05;
+  tatp.txns = 600;
+  tatp.buffer_fraction = 0.30;
+  tatp.scheme = {.n = 2, .m = 4, .v = 12};
+  tatp.record_update_sizes = true;
+  configs.push_back(tatp);
+
+  RunConfig tpcb_noneager = tpcb;
+  tpcb_noneager.eager = false;
+  tpcb_noneager.seed = 7;
+  configs.push_back(tpcb_noneager);
+
+  RunConfig tpcb_timed = tpcb_ipa;
+  tpcb_timed.sim_time_us = 200000;
+  configs.push_back(tpcb_timed);
+
+  return configs;
+}
+
+void ExpectTraceEq(const engine::UpdateSizeTrace& a,
+                   const engine::UpdateSizeTrace& b) {
+  EXPECT_EQ(a.net.Points(), b.net.Points());
+  EXPECT_EQ(a.meta.Points(), b.meta.Points());
+  EXPECT_EQ(a.gross.Points(), b.gross.Points());
+}
+
+void ExpectResultEq(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.host_reads, b.host_reads);
+  EXPECT_EQ(a.host_page_writes, b.host_page_writes);
+  EXPECT_EQ(a.host_delta_writes, b.host_delta_writes);
+  EXPECT_EQ(a.host_writes, b.host_writes);
+  EXPECT_DOUBLE_EQ(a.ipa_share_pct, b.ipa_share_pct);
+  EXPECT_EQ(a.delta_bytes_written, b.delta_bytes_written);
+  EXPECT_EQ(a.ipa_fallbacks, b.ipa_fallbacks);
+  EXPECT_EQ(a.gc_migrations, b.gc_migrations);
+  EXPECT_EQ(a.gc_erases, b.gc_erases);
+  EXPECT_DOUBLE_EQ(a.migrations_per_host_write, b.migrations_per_host_write);
+  EXPECT_DOUBLE_EQ(a.erases_per_host_write, b.erases_per_host_write);
+  EXPECT_DOUBLE_EQ(a.read_latency_ms, b.read_latency_ms);
+  EXPECT_DOUBLE_EQ(a.write_latency_ms, b.write_latency_ms);
+  EXPECT_DOUBLE_EQ(a.txn_latency_ms, b.txn_latency_ms);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.sim_us, b.sim_us);
+  EXPECT_EQ(a.gross_written_bytes, b.gross_written_bytes);
+  EXPECT_EQ(a.net_changed_bytes, b.net_changed_bytes);
+  EXPECT_DOUBLE_EQ(a.space_overhead_pct, b.space_overhead_pct);
+
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  auto ita = a.traces.begin();
+  auto itb = b.traces.begin();
+  for (; ita != a.traces.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    ExpectTraceEq(ita->second, itb->second);
+  }
+  EXPECT_EQ(a.io_trace.size(), b.io_trace.size());
+}
+
+TEST(ParallelRunnerTest, SerialAndParallelResultsAreIdentical) {
+  std::vector<RunConfig> configs = SmallConfigSet();
+  auto serial = RunMany(configs, /*jobs=*/1);
+  auto parallel = RunMany(configs, /*jobs=*/4);
+
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); i++) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].status().ToString();
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].status().ToString();
+    SCOPED_TRACE("config #" + std::to_string(i));
+    ExpectResultEq(serial[i].value(), parallel[i].value());
+  }
+}
+
+TEST(ParallelRunnerTest, RepeatedParallelRunsAreIdentical) {
+  std::vector<RunConfig> configs = SmallConfigSet();
+  auto first = RunMany(configs, /*jobs=*/4);
+  auto second = RunMany(configs, /*jobs=*/4);
+  for (size_t i = 0; i < configs.size(); i++) {
+    ASSERT_TRUE(first[i].ok());
+    ASSERT_TRUE(second[i].ok());
+    SCOPED_TRACE("config #" + std::to_string(i));
+    ExpectResultEq(first[i].value(), second[i].value());
+  }
+}
+
+TEST(ParallelRunnerTest, JobsEnvOverridesDefault) {
+  ASSERT_EQ(setenv("IPA_JOBS", "3", 1), 0);
+  EXPECT_EQ(Jobs(), 3u);
+  ASSERT_EQ(setenv("IPA_JOBS", "0", 1), 0);  // invalid: falls back to default
+  EXPECT_GE(Jobs(), 1u);
+  unsetenv("IPA_JOBS");
+  EXPECT_GE(Jobs(), 1u);
+}
+
+TEST(ParallelRunnerTest, WritesTimingJson) {
+  std::vector<RunConfig> configs = SmallConfigSet();
+  configs.resize(2);
+  auto results = RunMany(configs, /*jobs=*/2);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  ASSERT_GE(BenchTimings().size(), 2u);
+
+  std::string path = ::testing::TempDir() + "/ipa_bench_timing.json";
+  ASSERT_TRUE(WriteBenchJson(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  size_t len = std::fread(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  content.resize(len);
+  EXPECT_NE(content.find("\"total_wall_ms\""), std::string::npos);
+  EXPECT_NE(content.find("\"runs\""), std::string::npos);
+  EXPECT_NE(content.find("\"workload\": \"TPC-B\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipa::bench
