@@ -1,0 +1,64 @@
+// Deterministic power-loss crash sweep (docs/CRASH_TESTING.md).
+//
+// Record-and-replay fault injection in the style of ALICE/OptFS crash
+// testing: run a TPC-B-style workload once to record how many mutating flash
+// operations (ProgramPage / ProgramDelta / EraseBlock) it issues, then
+// re-execute the identical workload once per operation index with a power
+// loss injected at exactly that operation. After each crash the testbed is
+// power-cycled and restarted (mount-time torn-write scan + ARIES recovery),
+// and the surviving database is checked against a reference model:
+// committed transactions must survive byte-exactly, uncommitted ones must
+// vanish, and no torn delta may ever be served to a reader.
+//
+// Every sweep point builds its own fully private simulated stack, so points
+// execute concurrently (ParallelFor) with bit-identical results at any
+// IPA_JOBS setting.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipa::bench {
+
+struct CrashSweepConfig {
+  uint64_t txns = 200;       ///< TPC-B transactions after the load phase.
+  uint32_t accounts = 96;    ///< Account tuples loaded up front.
+  uint64_t seed = 42;        ///< Workload RNG + torn-state shape seed.
+  uint64_t max_points = 0;   ///< Cap on injection points (0 = every op index).
+  unsigned jobs = 0;         ///< Worker threads (0 = Jobs()).
+  bool scale_with_env = true;  ///< Apply IPA_SCALE to `txns`.
+};
+
+/// Outcome of one injection point.
+struct CrashSweepPoint {
+  uint64_t inject_at = 0;   ///< Mutating-op index the loss was armed for.
+  bool crashed = false;     ///< Power actually died (armed op passed validation).
+  bool ok = false;          ///< Post-recovery verification passed.
+  uint64_t commits = 0;     ///< Transactions committed before the crash.
+  uint64_t torn_bytes = 0;  ///< Torn delta bytes detected and dropped.
+  uint64_t quarantined = 0; ///< Pages the mount scan rewrote clean.
+  std::string error;        ///< First failure (empty when ok).
+};
+
+struct CrashSweepReport {
+  uint64_t total_ops = 0;   ///< Mutating flash ops in the crash-free run.
+  uint64_t crashes = 0;     ///< Points where the loss actually fired.
+  uint64_t failures = 0;    ///< Points failing verification.
+  std::vector<CrashSweepPoint> points;  ///< In injection-index order.
+
+  /// CRC32C over every point's outcome fields in index order — identical
+  /// across worker counts iff the sweep is deterministic.
+  uint32_t Fingerprint() const;
+};
+
+/// Run the sweep: one crash-free trace run, then one replay per injection
+/// point. Returns a non-OK status only for harness-level errors (e.g. the
+/// trace run itself failing); per-point verification failures are reported
+/// in the point list and `failures`.
+Result<CrashSweepReport> RunCrashSweep(const CrashSweepConfig& config);
+
+}  // namespace ipa::bench

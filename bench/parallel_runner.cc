@@ -78,6 +78,26 @@ unsigned Jobs() {
   return hw >= 1 ? hw : 1;
 }
 
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 unsigned jobs) {
+  if (jobs == 0) jobs = Jobs();
+  unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(jobs, n == 0 ? 1 : n));
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; i++) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; w++) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
 std::vector<Result<RunResult>> RunMany(const std::vector<RunConfig>& configs,
                                        unsigned jobs) {
   RegisterJsonAtExit();
@@ -95,24 +115,9 @@ std::vector<Result<RunResult>> RunMany(const std::vector<RunConfig>& configs,
   };
 
   auto batch_t0 = std::chrono::steady_clock::now();
-  if (workers <= 1) {
-    for (size_t i = 0; i < n; i++) run_one(i);
-  } else {
-    // Self-scheduling pool: workers steal the next unclaimed config, so a
-    // slow run does not serialize the rest. Results land in per-index slots,
-    // keeping submission order independent of completion order.
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; w++) {
-      pool.emplace_back([&] {
-        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
+  // Results land in per-index slots, keeping submission order independent of
+  // completion order.
+  ParallelFor(n, run_one, workers);
   double batch_ms = MillisSince(batch_t0);
 
   {

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@ namespace ipa::bench {
 /// Worker threads used by RunMany: the IPA_JOBS environment variable when it
 /// parses to >= 1, otherwise std::thread::hardware_concurrency() (min 1).
 unsigned Jobs();
+
+/// Run fn(0), ..., fn(n-1) on the RunMany self-scheduling pool: workers claim
+/// the next unclaimed index, so one slow iteration does not serialize the
+/// rest. Every index completes before the call returns; completion order is
+/// unspecified, so callers wanting ordered results write into per-index
+/// slots. `jobs` == 0 means "use Jobs()"; one worker degenerates to an
+/// in-thread loop.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 unsigned jobs = 0);
 
 /// Execute every config concurrently and return results in submission order.
 /// `jobs` == 0 means "use Jobs()"; `jobs` == 1 degenerates to a serial

@@ -15,6 +15,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kBusy: return "Busy";
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kBusy,              ///< Resource (lock, latch) unavailable.
   kAborted,           ///< Transaction aborted (deadlock victim, user abort).
   kInternal,          ///< Bug: internal invariant violated.
+  kUnavailable,       ///< Device is powered off (power loss until PowerCycle).
 };
 
 /// Lightweight status object: a code plus an optional message.
@@ -61,6 +62,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +78,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Human-readable rendering, e.g. "IoError: uncorrectable ECC".
   std::string ToString() const;

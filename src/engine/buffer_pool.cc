@@ -228,6 +228,10 @@ void BufferPool::DropAllNoFlush() {
   }
   dirty_count_ = 0;
   dirty_rec_lsns_.clear();
+  // The update-size traces feed the IPA advisor's N×M accounting. Frames
+  // dirtied by in-flight appends die with the crash, so their sampled sizes
+  // must too — a restarted instance profiles from scratch.
+  traces_.clear();
 }
 
 void BufferPool::DropPageNoFlush(PageId id) {

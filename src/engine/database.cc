@@ -579,6 +579,20 @@ Status Database::RedoRecord(const LogRecord& rec, Lsn lsn) {
   return ApplyToPage(rec, lsn, /*undo=*/false);
 }
 
+Status Database::RecoverAfterPowerLoss() {
+  // Mount-time scan first: ARIES redo must never read torn delta bytes.
+  if (ftl_) {
+    std::vector<bool> scanned(ftl_->region_count(), false);
+    for (const Tablespace& ts : tablespaces_) {
+      if (ts.device != ftl_->region_device(ts.region)) continue;  // not NoFTL-backed
+      if (scanned[ts.region]) continue;
+      scanned[ts.region] = true;
+      IPA_RETURN_NOT_OK(ftl_->MountScan(ts.region));
+    }
+  }
+  return Recover();
+}
+
 Status Database::Recover() {
   in_recovery_ = true;
   // -- Analysis: find loser transactions and their last LSNs.

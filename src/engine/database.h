@@ -126,6 +126,13 @@ class Database {
   /// ARIES restart: analysis / redo / undo over the surviving log.
   Status Recover();
 
+  /// Restart after a device power loss (the caller must PowerCycle() the
+  /// flash array first): run the NoFTL mount-time torn-write scan on every
+  /// NoFTL-backed tablespace's region — so a torn in-place append reads as
+  /// never written — then the ARIES restart, which replays the lost tail
+  /// from the WAL.
+  Status RecoverAfterPowerLoss();
+
   // -- Introspection ------------------------------------------------------------
 
   BufferPool& buffer_pool() { return *pool_; }

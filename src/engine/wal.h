@@ -81,6 +81,12 @@ class Wal {
 
   /// Crash simulation: discard all records beyond the durable LSN, as a real
   /// crash would. The surviving prefix is what restart recovery sees.
+  ///
+  /// Crash contract: the log device is modeled as write-atomic at record
+  /// granularity, so the durable prefix survives a power loss intact. Data
+  /// pages have no such guarantee — a loss mid-append leaves torn flash state
+  /// that the NoFTL mount scan must discard before redo runs (see
+  /// Database::RecoverAfterPowerLoss and docs/CRASH_TESTING.md).
   void DiscardUnflushed();
 
   /// Total bytes ever appended (for write-volume accounting).

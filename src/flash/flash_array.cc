@@ -93,6 +93,50 @@ void FlashArray::Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_
   }
 }
 
+void FlashArray::SetPowerLossPolicy(const PowerLossPolicy& policy) {
+  power_policy_ = policy;
+  power_rng_.Seed(policy.seed);
+  mutation_ops_ = 0;
+}
+
+void FlashArray::PowerCycle() {
+  powered_on_ = true;
+  // Volatile controller state (queued commands) is gone; the media keeps
+  // whatever torn state the loss left behind.
+  SimTime now = clock_->Now();
+  for (auto& chip : chips_) chip.busy_until = now;
+  for (auto& chan : channel_busy_) chan = now;
+}
+
+bool FlashArray::DrawPowerLoss() {
+  uint64_t op = mutation_ops_++;
+  if (op == power_policy_.inject_at_op) return true;
+  return power_policy_.per_op_probability > 0.0 &&
+         power_rng_.Chance(power_policy_.per_op_probability);
+}
+
+void FlashArray::ApplyTornProgram(uint8_t* stored, const uint8_t* target,
+                                  uint32_t len) {
+  // A random prefix of the payload finished its ISPP pulses before the
+  // supply collapsed.
+  uint32_t tear = static_cast<uint32_t>(power_rng_.Uniform(len + 1));
+  for (uint32_t i = 0; i < tear; i++) stored[i] &= target[i];
+  // The 32-bit word in flight completed an arbitrary subset of its pending
+  // 1 -> 0 transitions — ISPP only adds charge, so no bit can rise.
+  uint32_t word_end = std::min(len, (tear & ~3u) + 4);
+  for (uint32_t i = tear; i < word_end; i++) {
+    uint8_t pending = static_cast<uint8_t>(stored[i] & ~target[i]);
+    uint8_t cleared = static_cast<uint8_t>(pending & power_rng_.Next());
+    stored[i] = static_cast<uint8_t>(stored[i] & ~cleared);
+  }
+}
+
+void FlashArray::MergeOob(PageState& page, const uint8_t* oob, uint32_t oob_len) {
+  if (!oob || oob_len == 0) return;
+  if (page.oob.empty()) page.oob.assign(geo_.oob_size, 0xFF);
+  for (uint32_t i = 0; i < oob_len; i++) page.oob[i] &= oob[i];
+}
+
 void FlashArray::MaybeInjectRetention(PageState& page) {
   if (errors_.retention_flip_per_read <= 0.0 || page.data.empty()) return;
   if (!rng_.Chance(errors_.retention_flip_per_read)) return;
@@ -140,6 +184,7 @@ void FlashArray::MaybeInjectInterference(Ppn lsb_ppn) {
 }
 
 Status FlashArray::ReadPage(Ppn ppn, uint8_t* out, IoTiming* t, bool sync) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   PageState& page = PageRef(ppn);
   MaybeInjectRetention(page);
@@ -158,24 +203,26 @@ Status FlashArray::ReadPage(Ppn ppn, uint8_t* out, IoTiming* t, bool sync) {
 
 Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
                                uint32_t oob_len, IoTiming* t, bool sync) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
+  bool lose_power = DrawPowerLoss();
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   PageAddress a = FromPpn(geo_, ppn);
   BlockState& blk = BlockRef(BlockOf(geo_, ppn));
   if (blk.pages.empty()) blk.pages.resize(geo_.pages_per_block);
   PageState& page = blk.pages[a.page];
 
+  // Validate fully before touching media: a rejected command never draws
+  // program current, so it cannot tear (and stays atomic for the caller).
   if (page.program_count >= geo_.max_programs_per_page) {
     return Status::NotSupported("page program budget exhausted (NOP limit)");
   }
-  if (page.IsErased()) {
+  bool initial = page.IsErased();
+  if (initial) {
     // Initial program. MLC requires in-order programming within the block.
     if (geo_.cell_type != CellType::kSlc &&
         static_cast<int32_t>(a.page) <= blk.highest_programmed) {
       return Status::NotSupported("MLC requires in-order page programming");
     }
-    page.data.assign(data, data + geo_.page_size);
-    blk.highest_programmed =
-        std::max(blk.highest_programmed, static_cast<int32_t>(a.page));
   } else {
     // ISPP re-program: every bit may only go 1 -> 0.
     for (uint32_t i = 0; i < geo_.page_size; i++) {
@@ -184,21 +231,39 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
         return Status::NotSupported("re-program requires 0->1 transition (ISPP)");
       }
     }
-    std::memcpy(page.data.data(), data, geo_.page_size);
   }
-  page.program_count++;
-
-  if (oob && oob_len > 0) {
-    uint32_t len = std::min(oob_len, geo_.oob_size);
-    if (page.oob.empty()) page.oob.assign(geo_.oob_size, 0xFF);
-    for (uint32_t i = 0; i < len; i++) {
+  uint32_t merged_oob = (oob && oob_len > 0) ? std::min(oob_len, geo_.oob_size) : 0;
+  if (merged_oob > 0 && !page.oob.empty()) {
+    for (uint32_t i = 0; i < merged_oob; i++) {
       if ((oob[i] & page.oob[i]) != oob[i]) {
         stats_.ispp_rejections++;
         return Status::NotSupported("OOB re-program requires 0->1 transition");
       }
-      page.oob[i] = oob[i];
     }
   }
+
+  if (initial) {
+    page.data.assign(geo_.page_size, 0xFF);
+    blk.highest_programmed =
+        std::max(blk.highest_programmed, static_cast<int32_t>(a.page));
+  }
+
+  if (lose_power) {
+    // The controller sequences OOB and data in either order; on a loss only
+    // whatever already ran is on media.
+    bool oob_first = merged_oob > 0 && power_rng_.Chance(0.5);
+    if (oob_first) MergeOob(page, oob, merged_oob);
+    ApplyTornProgram(page.data.data(), data, geo_.page_size);
+    page.program_count++;
+    powered_on_ = false;
+    stats_.power_loss_injections++;
+    stats_.torn_page_programs++;
+    return Status::Unavailable("power loss during page program");
+  }
+
+  std::memcpy(page.data.data(), data, geo_.page_size);
+  page.program_count++;
+  MergeOob(page, oob, merged_oob);
 
   bool lsb = IsLsbPage(geo_, a.page);
   uint64_t prog_us = lsb ? timing_.program_lsb_us : timing_.program_msb_us;
@@ -210,6 +275,8 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
 
 Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
                                 uint32_t len, IoTiming* t, bool sync) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
+  bool lose_power = DrawPowerLoss();
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   if (len == 0) return Status::InvalidArgument("empty delta");
   if (offset + len > geo_.page_size) {
@@ -233,6 +300,14 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
       return Status::NotSupported("delta requires 0->1 transition (ISPP)");
     }
   }
+  if (lose_power) {
+    ApplyTornProgram(page.data.data() + offset, delta, len);
+    page.program_count++;
+    powered_on_ = false;
+    stats_.power_loss_injections++;
+    stats_.torn_delta_programs++;
+    return Status::Unavailable("power loss during delta program");
+  }
   std::memcpy(page.data.data() + offset, delta, len);
   page.program_count++;
 
@@ -246,6 +321,7 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
 
 Status FlashArray::ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes,
                               uint32_t len) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   if (offset + len > geo_.oob_size) {
     return Status::InvalidArgument("OOB write exceeds OOB size");
@@ -263,6 +339,7 @@ Status FlashArray::ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes,
 }
 
 Status FlashArray::ReadOob(Ppn ppn, uint8_t* out, uint32_t len) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   if (len > geo_.oob_size) return Status::InvalidArgument("OOB read too long");
   const PageState& page = page_state(ppn);
@@ -276,6 +353,7 @@ Status FlashArray::ReadOob(Ppn ppn, uint8_t* out, uint32_t len) {
 
 Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
                                bool sync) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
   IPA_RETURN_NOT_OK(CheckPpn(ppn));
   PageState& page = PageRef(ppn);
   if (page.IsErased()) {
@@ -297,10 +375,27 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
 }
 
 Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
+  if (!powered_on_) return Status::Unavailable("flash device is powered off");
+  bool lose_power = DrawPowerLoss();
   if (pbn >= geo_.total_blocks()) {
     return Status::InvalidArgument("pbn out of range");
   }
   BlockState& blk = blocks_[pbn];
+  if (lose_power) {
+    // Partial erase: charge drained from some cells but not others, so the
+    // block reads as garbage biased towards 1 (erased). Program counters are
+    // kept — the block was NOT erased and refuses initial programs until a
+    // successful re-erase.
+    for (auto& page : blk.pages) {
+      for (auto& b : page.data) b |= static_cast<uint8_t>(power_rng_.Next());
+      for (auto& b : page.oob) b |= static_cast<uint8_t>(power_rng_.Next());
+    }
+    blk.erase_count++;
+    powered_on_ = false;
+    stats_.power_loss_injections++;
+    stats_.torn_erases++;
+    return Status::Unavailable("power loss during block erase");
+  }
   blk.pages.clear();
   blk.pages.shrink_to_fit();
   blk.erase_count++;

@@ -46,6 +46,25 @@ struct ErrorModel {
   uint64_t seed = 0x5EED;
 };
 
+/// Power-loss fault injection (crash testing, docs/CRASH_TESTING.md). When
+/// armed, the policy picks one mutating operation (ProgramPage /
+/// ProgramDelta / EraseBlock) and cuts power *mid-way through it*, leaving
+/// realistic torn state behind; the device then fails every command with
+/// Status::Unavailable until PowerCycle().
+struct PowerLossPolicy {
+  static constexpr uint64_t kNever = ~0ull;
+  /// Cut power during the mutating op with this 0-based index, counted from
+  /// the moment the policy was set. The index is consumed even when the op
+  /// is rejected by validation (a refused command draws no program current,
+  /// so nothing tears); kNever disables deterministic injection.
+  uint64_t inject_at_op = kNever;
+  /// Independently, each valid mutating op loses power with this probability.
+  double per_op_probability = 0.0;
+  /// Seeds the torn-state shape (tear offset, in-flight word bits, OOB
+  /// ordering) and the probabilistic trigger.
+  uint64_t seed = 0x70FF;
+};
+
 /// Raw operation counters maintained by the device.
 struct DeviceStats {
   uint64_t page_reads = 0;
@@ -59,6 +78,10 @@ struct DeviceStats {
   uint64_t interference_flips = 0;
   uint64_t retention_flips = 0;
   uint64_t page_refreshes = 0;  ///< Correct-and-Refresh reprograms.
+  uint64_t power_loss_injections = 0;  ///< Ops torn by the PowerLossPolicy.
+  uint64_t torn_page_programs = 0;
+  uint64_t torn_delta_programs = 0;
+  uint64_t torn_erases = 0;
 };
 
 /// Completion report of one device operation under the timing model.
@@ -128,6 +151,23 @@ class FlashArray {
   Status RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t = nullptr,
                      bool sync = true);
 
+  // -- Power-loss fault injection --------------------------------------------
+
+  /// Arm (or, with a default-constructed policy, disarm) power-loss
+  /// injection. Resets the policy RNG and the mutating-op counter, so
+  /// `inject_at_op` indices are relative to this call.
+  void SetPowerLossPolicy(const PowerLossPolicy& policy);
+
+  /// Restore power after an injected loss. Torn on-media state persists —
+  /// only volatile device state (chip/channel queues) resets. Idempotent.
+  void PowerCycle();
+
+  bool powered_on() const { return powered_on_; }
+
+  /// Mutating ops (ProgramPage / ProgramDelta / EraseBlock) attempted since
+  /// the policy was last set — the crash sweep's injection-index space.
+  uint64_t mutation_ops() const { return mutation_ops_; }
+
   // -- Introspection ----------------------------------------------------------
   const PageState& page_state(Ppn ppn) const;
   uint32_t EraseCount(Pbn pbn) const;
@@ -162,6 +202,16 @@ class FlashArray {
   void MaybeInjectRetention(PageState& page);
   void MaybeInjectInterference(Ppn lsb_ppn);
 
+  /// Consume the next mutating-op index; true if power is lost during it.
+  bool DrawPowerLoss();
+  /// Program a torn image of target[0..len) into stored[0..len): a random
+  /// prefix lands completely, the in-flight 32-bit word gets a random subset
+  /// of its pending 1->0 transitions, the rest stays untouched.
+  void ApplyTornProgram(uint8_t* stored, const uint8_t* target, uint32_t len);
+  /// ISPP-merge an OOB image (bits can only clear) — torn programs that
+  /// sequence OOB before data commit it fully before power dies.
+  void MergeOob(PageState& page, const uint8_t* oob, uint32_t oob_len);
+
   Geometry geo_;
   TimingModel timing_;
   ErrorModel errors_;
@@ -172,6 +222,11 @@ class FlashArray {
   std::vector<BlockState> blocks_;       // flat, chip-major
   std::vector<ChipState> chips_;
   std::vector<SimTime> channel_busy_;    // per channel
+
+  PowerLossPolicy power_policy_;
+  Rng power_rng_{0x70FF};
+  bool powered_on_ = true;
+  uint64_t mutation_ops_ = 0;
 };
 
 }  // namespace ipa::flash

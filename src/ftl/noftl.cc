@@ -466,6 +466,87 @@ Status NoFtl::VerifyEcc(Region& reg, flash::Ppn ppn, uint8_t* data) {
   return Status::OK();
 }
 
+uint32_t NoFtl::ScrubUncoveredDeltaBytes(Region& reg, flash::Ppn ppn,
+                                         uint8_t* data) {
+  const auto& g = device_->geometry();
+  if (!reg.config.manage_ecc || reg.config.ipa_mode == IpaMode::kOff) return 0;
+  uint32_t delta_off = reg.config.delta_area_offset;
+  if (delta_off == 0 || delta_off >= g.page_size) return 0;
+  std::vector<uint8_t> oob(g.oob_size);
+  if (!device_->ReadOob(ppn, oob.data(), g.oob_size).ok()) return 0;
+
+  // A delta's OOB slot is appended only after its payload landed completely,
+  // so every legitimate non-erased delta-area byte is covered by some slot —
+  // uncovered non-0xFF bytes are torn remnants of an interrupted append.
+  std::vector<bool> covered(g.page_size - delta_off, false);
+  uint32_t initial_bytes = static_cast<uint32_t>(flash::EccRegionBytes(delta_off));
+  for (uint32_t base = initial_bytes; base + kSlotBytes <= g.oob_size;
+       base += kSlotBytes) {
+    uint16_t offset = DecodeU16(&oob[base]);
+    uint16_t len = DecodeU16(&oob[base + 2]);
+    if (offset == 0xFFFF && len == 0xFFFF) break;  // erased slot: no more deltas
+    if (offset + len > g.page_size || len == 0) break;  // damaged: VerifyEcc reports
+    for (uint32_t i = std::max(static_cast<uint32_t>(offset), delta_off);
+         i < static_cast<uint32_t>(offset) + len; i++) {
+      covered[i - delta_off] = true;
+    }
+  }
+  uint32_t dropped = 0;
+  for (uint32_t i = delta_off; i < g.page_size; i++) {
+    if (!covered[i - delta_off] && data[i] != 0xFF) {
+      data[i] = 0xFF;
+      dropped++;
+    }
+  }
+  reg.stats.torn_delta_bytes_dropped += dropped;
+  return dropped;
+}
+
+Status NoFtl::MountScan(RegionId r, MountScanReport* report) {
+  Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  MountScanReport rep;
+  if (reg.config.manage_ecc) {
+    std::vector<uint8_t> buf(g.page_size);
+    std::vector<uint8_t> oob(g.oob_size);
+    for (Lba lba = 0; lba < reg.map.size(); lba++) {
+      flash::Ppn ppn = reg.map[lba];
+      if (ppn == flash::kInvalidPpn) continue;
+      rep.pages_scanned++;
+      IPA_RETURN_NOT_OK(device_->ReadPage(ppn, buf.data(), nullptr, false));
+      Status s = VerifyEcc(reg, ppn, buf.data());
+      if (s.IsCorruption()) {
+        rep.uncorrectable_pages++;  // beyond DBMS-side repair; WAL redo rewrites
+        continue;
+      }
+      IPA_RETURN_NOT_OK(s);
+      uint32_t dropped = ScrubUncoveredDeltaBytes(reg, ppn, buf.data());
+      if (dropped == 0) continue;
+      rep.torn_bytes_dropped += dropped;
+      // Quarantine: the torn bytes sit in flash cells that already took
+      // charge, so the page can never absorb a clean append there again.
+      // Rewrite the scrubbed image (with its OOB, preserving valid delta
+      // slots) onto a fresh page and invalidate the torn one for GC.
+      IPA_RETURN_NOT_OK(device_->ReadOob(ppn, oob.data(), g.oob_size));
+      flash::Ppn new_ppn;
+      uint32_t new_bidx;
+      IPA_RETURN_NOT_OK(AllocatePage(reg, &new_ppn, &new_bidx, /*for_gc=*/true));
+      IPA_RETURN_NOT_OK(device_->ProgramPage(new_ppn, buf.data(), oob.data(),
+                                             g.oob_size, nullptr, false));
+      Invalidate(reg, ppn);
+      reg.map[lba] = new_ppn;
+      size_t nidx = static_cast<size_t>(new_bidx) * g.pages_per_block +
+                    (new_ppn % g.pages_per_block);
+      reg.rmap[nidx] = lba;
+      reg.blocks[new_bidx].valid++;
+      reg.stats.torn_pages_quarantined++;
+      rep.torn_pages_quarantined++;
+    }
+  }
+  if (report) *report = rep;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Host commands
 // ---------------------------------------------------------------------------
@@ -485,6 +566,8 @@ Status NoFtl::ReadPage(RegionId r, Lba lba, uint8_t* out) {
   reg.stats.read_latency.Add(t.LatencyUs());
   if (reg.config.manage_ecc) {
     IPA_RETURN_NOT_OK(VerifyEcc(reg, ppn, out));
+    // Never serve torn (power-loss-interrupted) delta bytes to the host.
+    ScrubUncoveredDeltaBytes(reg, ppn, out);
   }
   return Status::OK();
 }

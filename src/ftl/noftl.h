@@ -79,6 +79,9 @@ struct RegionStats {
   uint64_t gc_erases = 0;
   uint64_t ecc_corrected_bits = 0;
   uint64_t ecc_uncorrectable = 0;
+  /// Torn-write detection (power loss mid-append, docs/CRASH_TESTING.md).
+  uint64_t torn_delta_bytes_dropped = 0;  ///< Uncovered delta bytes scrubbed on read.
+  uint64_t torn_pages_quarantined = 0;    ///< Pages rewritten clean by MountScan.
   uint64_t scrub_refreshes = 0;         ///< Correct-and-Refresh reprograms.
   uint64_t wear_level_migrations = 0;   ///< Static wear-leveling page moves.
   uint64_t wear_level_swaps = 0;        ///< Cold-block/worn-block exchanges.
@@ -107,6 +110,14 @@ struct RegionStats {
 
 /// Handle to a created region.
 using RegionId = uint32_t;
+
+/// Result of a mount-time torn-write scan (NoFtl::MountScan).
+struct MountScanReport {
+  uint64_t pages_scanned = 0;
+  uint64_t torn_pages_quarantined = 0;
+  uint64_t torn_bytes_dropped = 0;
+  uint64_t uncorrectable_pages = 0;
+};
 
 class NoFtl {
  public:
@@ -155,6 +166,14 @@ class NoFtl {
 
   /// Drop the mapping of a logical page (e.g. file truncation).
   Status Trim(RegionId r, Lba lba);
+
+  /// Mount-time scan after a power loss: read every mapped page, scrub
+  /// delta-area bytes not covered by any OOB ECC slot (a torn write_delta
+  /// programs data before its slot, so uncovered non-erased bytes are
+  /// exactly the torn ones) and quarantine affected pages by rewriting the
+  /// cleaned image out-of-place. Uncorrectable pages are counted and left
+  /// for engine-level (WAL) recovery. No-op for regions without managed ECC.
+  Status MountScan(RegionId r, MountScanReport* report = nullptr);
 
   // -- Maintenance (background) ----------------------------------------------
 
@@ -260,6 +279,10 @@ class NoFtl {
   Status AppendDeltaEcc(Region& reg, flash::Ppn ppn, uint32_t slot,
                         uint32_t offset, const uint8_t* bytes, uint32_t len);
   Status VerifyEcc(Region& reg, flash::Ppn ppn, uint8_t* data);
+
+  /// Reset delta-area bytes of `data` that no OOB slot covers back to 0xFF
+  /// (buffer only, media untouched); returns the number of bytes dropped.
+  uint32_t ScrubUncoveredDeltaBytes(Region& reg, flash::Ppn ppn, uint8_t* data);
 
   flash::FlashArray* device_;
   std::vector<Region> regions_;

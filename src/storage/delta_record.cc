@@ -30,6 +30,23 @@ void PutPair(uint8_t* dst, ByteChange c) {
   EncodeU16(dst + 1, c.offset);
 }
 
+/// True iff the record at `rec` is a completely-programmed delta record: the
+/// ctrl byte matches kCtrlPresent exactly and every pair offset is either
+/// erased (0xFFFF) or inside the page body. A power loss mid-append can only
+/// clear bits (ISPP), so a torn ctrl byte is a strict superset of
+/// kCtrlPresent's zero bits — never equal unless the ctrl byte finished — and
+/// a torn pair can leave an offset pointing into the delta area. Either way
+/// the record (and everything after it) must read as never written.
+bool ValidRecord(const uint8_t* rec, const AreaView& v) {
+  if (rec[0] != kCtrlPresent) return false;
+  uint32_t pairs = static_cast<uint32_t>(v.scheme.m) + v.scheme.v;
+  for (uint32_t p = 0; p < pairs; p++) {
+    uint16_t offset = DecodeU16(rec + 1 + 3 * p + 1);
+    if (offset != 0xFFFF && offset >= v.delta_off) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
@@ -40,6 +57,7 @@ uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
     uint32_t base = v.delta_off + r * v.record_bytes;
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;  // erased ctrl byte: no further records
+    if (!ValidRecord(page + base, v)) break;  // torn record: never written
     count++;
   }
   return count;
@@ -54,6 +72,7 @@ uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
     uint32_t base = v.delta_off + r * v.record_bytes;
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;
+    if (!ValidRecord(page + base, v)) break;  // torn record: never written
     for (uint32_t p = 0; p < pairs; p++) {
       const uint8_t* pair = page + base + 1 + 3 * p;
       uint16_t offset = DecodeU16(pair + 1);

@@ -20,7 +20,8 @@ struct PoolFixture {
   static constexpr uint32_t kPageSize = 4096;
   storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
 
-  explicit PoolFixture(uint32_t frames, double dirty_threshold = 0.5)
+  explicit PoolFixture(uint32_t frames, double dirty_threshold = 0.5,
+                       bool record_update_sizes = false)
       : dev(Geo(), flash::SlcTiming()), noftl(&dev) {
     ftl::RegionConfig rc;
     rc.name = "t";
@@ -33,6 +34,7 @@ struct PoolFixture {
     bc.frames = frames;
     bc.dirty_flush_threshold = dirty_threshold;
     bc.cleaner_async = false;
+    bc.record_update_sizes = record_update_sizes;
     pool = std::make_unique<BufferPool>(
         bc, [this](TablespaceId) { return noftl.region_device(region); },
         [](Lsn) {});
@@ -238,6 +240,27 @@ TEST(BufferPoolTest, FallbackWhenDeviceBudgetExhausted) {
   EXPECT_EQ(t.value()[0], 0x20);
   EXPECT_EQ(t.value()[1], 0x21);
   pool.Unfix(f3, false);
+}
+
+// Regression: a simulated crash (DropAllNoFlush) must also reset the
+// update-size traces that feed the IPA advisor, or a restarted instance
+// would keep profiling on samples from pages whose updates never survived.
+TEST(BufferPoolTest, DropAllNoFlushResetsAdvisorTraces) {
+  PoolFixture fx(8, 0.5, /*record_update_sizes=*/true);
+  PageId p(0, 3);
+  fx.Seed(p);
+
+  // Dirty the already-mapped page and flush so a trace sample is recorded.
+  auto f = fx.pool->Fix(p).value();
+  storage::SlottedPage view(f->cur.data(), PoolFixture::kPageSize);
+  uint8_t val = 0x42;
+  ASSERT_TRUE(view.UpdateInPlace(0, 0, {&val, 1}).ok());
+  fx.pool->Unfix(f, true);
+  ASSERT_TRUE(fx.pool->FlushAll().ok());
+  ASSERT_FALSE(fx.pool->update_traces().empty());
+
+  fx.pool->DropAllNoFlush();
+  EXPECT_TRUE(fx.pool->update_traces().empty());
 }
 
 }  // namespace

@@ -318,5 +318,117 @@ TEST(FlashArrayTest, InvalidAddressesRejected) {
   EXPECT_TRUE(dev.ProgramDelta(0, g.page_size - 2, d, 4).IsInvalidArgument());
 }
 
+TEST(PowerLossTest, DeviceStaysOffUntilPowerCycle) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  PowerLossPolicy pol;
+  pol.inject_at_op = 0;  // first mutating op after policy install
+  pol.seed = 7;
+  dev.SetPowerLossPolicy(pol);
+
+  auto data = Pattern(g.page_size, 1);
+  ASSERT_TRUE(dev.ProgramPage(0, data.data()).IsUnavailable());
+  EXPECT_FALSE(dev.powered_on());
+  std::vector<uint8_t> buf(g.page_size);
+  EXPECT_TRUE(dev.ReadPage(0, buf.data()).IsUnavailable());
+  EXPECT_TRUE(dev.EraseBlock(0).IsUnavailable());
+  EXPECT_EQ(dev.stats().power_loss_injections, 1u);
+  EXPECT_EQ(dev.stats().torn_page_programs, 1u);
+
+  dev.PowerCycle();
+  EXPECT_TRUE(dev.powered_on());
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  // Torn program: bits are only ever cleared toward the target image, so
+  // every 0-bit in the target is either still 1 (not yet programmed) or 0.
+  for (uint32_t i = 0; i < g.page_size; i++) {
+    EXPECT_EQ(buf[i] & data[i], data[i]) << "byte " << i;
+  }
+}
+
+// Satellite property test: a delta torn by power loss leaves charged (0)
+// cells behind; any later ProgramDelta that would need to set one of those
+// bits back to 1 must be ISPP-rejected, never silently merged.
+TEST(PowerLossTest, TornDeltaBlocksOverlappingRewrite) {
+  constexpr uint32_t kDeltaOff = 400;
+  constexpr uint32_t kDeltaLen = 16;
+  bool saw_partial_tear = false;
+  for (uint64_t seed = 1; seed <= 32; seed++) {
+    Geometry g = SmallSlc();
+    g.max_programs_per_page = 64;  // room for the per-byte probe writes
+    FlashArray dev(g, SlcTiming());
+    std::vector<uint8_t> page(g.page_size, 0x00);
+    std::memset(page.data() + kDeltaOff, 0xFF, 112);  // erased delta area
+    ASSERT_TRUE(dev.ProgramPage(0, page.data()).ok());
+
+    PowerLossPolicy pol;
+    pol.inject_at_op = 0;
+    pol.seed = seed;
+    dev.SetPowerLossPolicy(pol);
+    std::vector<uint8_t> delta(kDeltaLen, 0x00);  // clears every bit it touches
+    ASSERT_TRUE(
+        dev.ProgramDelta(0, kDeltaOff, delta.data(), kDeltaLen).IsUnavailable());
+    EXPECT_EQ(dev.stats().torn_delta_programs, 1u);
+
+    dev.PowerCycle();
+    dev.SetPowerLossPolicy(PowerLossPolicy{});  // no further injection
+
+    std::vector<uint8_t> buf(g.page_size);
+    ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+    EXPECT_EQ(buf[kDeltaOff - 1], 0x00);      // body untouched by the tear
+    EXPECT_EQ(buf[kDeltaOff + kDeltaLen], 0xFF);  // beyond the delta untouched
+    for (uint32_t i = 0; i < kDeltaLen; i++) {
+      uint8_t rewrite = 0xFF;  // asks for every bit set
+      Status s = dev.ProgramDelta(0, kDeltaOff + i, &rewrite, 1);
+      if (buf[kDeltaOff + i] != 0xFF) {
+        // The torn delta cleared bits here; re-raising them is impossible.
+        EXPECT_TRUE(s.IsNotSupported()) << "seed " << seed << " byte " << i;
+        saw_partial_tear = true;
+      } else {
+        EXPECT_TRUE(s.ok()) << "seed " << seed << " byte " << i;
+      }
+    }
+  }
+  // Across 32 seeds the tear point must land mid-delta at least once.
+  EXPECT_TRUE(saw_partial_tear);
+}
+
+TEST(PowerLossTest, TornEraseLeavesGarbageUntilReErased) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  auto data = Pattern(g.page_size, 5);
+  ASSERT_TRUE(dev.ProgramPage(0, data.data()).ok());
+
+  PowerLossPolicy pol;
+  pol.inject_at_op = 0;
+  pol.seed = 11;
+  dev.SetPowerLossPolicy(pol);
+  ASSERT_TRUE(dev.EraseBlock(0).IsUnavailable());
+  EXPECT_EQ(dev.stats().torn_erases, 1u);
+
+  dev.PowerCycle();
+  dev.SetPowerLossPolicy(PowerLossPolicy{});
+  ASSERT_TRUE(dev.EraseBlock(0).ok());
+  std::vector<uint8_t> buf(g.page_size);
+  ASSERT_TRUE(dev.ReadPage(0, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xFF);
+  EXPECT_TRUE(dev.ProgramPage(0, data.data()).ok());
+}
+
+TEST(PowerLossTest, ProbabilisticInjectionFiresOnce) {
+  Geometry g = SmallSlc();
+  FlashArray dev(g, SlcTiming());
+  PowerLossPolicy pol;
+  pol.per_op_probability = 0.2;
+  pol.seed = 99;
+  dev.SetPowerLossPolicy(pol);
+  std::vector<uint8_t> page(g.page_size, 0x00);
+  bool fired = false;
+  for (uint32_t p = 0; p < 100 && !fired; p++) {
+    fired = dev.ProgramPage(p, page.data()).IsUnavailable();
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(dev.stats().power_loss_injections, 1u);
+}
+
 }  // namespace
 }  // namespace ipa::flash

@@ -316,5 +316,82 @@ TEST(NoFtlTest, RegionCreationValidation) {
   EXPECT_TRUE(ftl.CreateRegion(rc).status().IsOutOfSpace());
 }
 
+TEST(NoFtlTest, MountScanCleanRegionFindsNothing) {
+  Fixture f(SmallSlc(), IpaMode::kSlc, 32, /*ecc=*/true);
+  auto page = PageOf(512, 0x19, f.delta_off);
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 0, page.data()).ok());
+  ASSERT_TRUE(f.ftl.WritePage(f.region, 1, page.data()).ok());
+  uint8_t d[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off, d, 4).ok());
+
+  MountScanReport rep;
+  ASSERT_TRUE(f.ftl.MountScan(f.region, &rep).ok());
+  EXPECT_EQ(rep.pages_scanned, 2u);
+  EXPECT_EQ(rep.torn_pages_quarantined, 0u);
+  EXPECT_EQ(rep.torn_bytes_dropped, 0u);
+  EXPECT_EQ(rep.uncorrectable_pages, 0u);
+}
+
+TEST(NoFtlTest, MountScanQuarantinesTornDelta) {
+  auto g = SmallSlc();
+  bool exercised = false;
+  for (uint64_t seed = 1; seed <= 8 && !exercised; seed++) {
+    Fixture f(g, IpaMode::kSlc, 32, /*ecc=*/true);
+    auto page = PageOf(512, 0x27, f.delta_off);
+    ASSERT_TRUE(f.ftl.WritePage(f.region, 0, page.data()).ok());
+    uint8_t clean[4] = {9, 8, 7, 6};
+    ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off, clean, 4).ok());
+
+    // Tear the next delta append mid-program.
+    flash::PowerLossPolicy pol;
+    pol.inject_at_op = 0;
+    pol.seed = seed;
+    f.dev.SetPowerLossPolicy(pol);
+    std::vector<uint8_t> torn(16, 0x00);
+    ASSERT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off + 8, torn.data(), 16)
+                    .IsUnavailable());
+    f.dev.PowerCycle();
+    f.dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+
+    // Host reads never see torn bytes, even before the mount scan: the torn
+    // delta has no covering OOB ECC slot, so its bytes read back erased.
+    std::vector<uint8_t> buf(512);
+    ASSERT_TRUE(f.ftl.ReadPage(f.region, 0, buf.data()).ok());
+    EXPECT_EQ(std::memcmp(buf.data() + f.delta_off, clean, 4), 0);
+    for (uint32_t i = 8; i < 24; i++) {
+      EXPECT_EQ(buf[f.delta_off + i], 0xFF) << "torn byte " << i << " served";
+    }
+    if (f.ftl.region_stats(f.region).torn_delta_bytes_dropped == 0) {
+      continue;  // tear fired before any bit was programmed; try another seed
+    }
+    exercised = true;
+
+    flash::Ppn before = f.ftl.PhysicalOf(f.region, 0);
+    MountScanReport rep;
+    ASSERT_TRUE(f.ftl.MountScan(f.region, &rep).ok());
+    EXPECT_GT(rep.pages_scanned, 0u);
+    EXPECT_EQ(rep.torn_pages_quarantined, 1u);
+    EXPECT_GT(rep.torn_bytes_dropped, 0u);
+    EXPECT_EQ(rep.uncorrectable_pages, 0u);
+    EXPECT_NE(f.ftl.PhysicalOf(f.region, 0), before);
+    EXPECT_EQ(f.ftl.region_stats(f.region).torn_pages_quarantined, 1u);
+
+    // The quarantined copy is clean and accepts fresh appends again.
+    ASSERT_TRUE(f.ftl.ReadPage(f.region, 0, buf.data()).ok());
+    for (uint32_t j = 0; j < f.delta_off; j++) {
+      ASSERT_EQ(buf[j], 0x27) << "body byte " << j;
+    }
+    EXPECT_EQ(std::memcmp(buf.data() + f.delta_off, clean, 4), 0);
+    uint8_t again[4] = {1, 1, 2, 2};
+    EXPECT_TRUE(f.ftl.WriteDelta(f.region, 0, f.delta_off + 8, again, 4).ok());
+
+    MountScanReport rep2;
+    ASSERT_TRUE(f.ftl.MountScan(f.region, &rep2).ok());
+    EXPECT_EQ(rep2.torn_pages_quarantined, 0u);
+    EXPECT_EQ(rep2.torn_bytes_dropped, 0u);
+  }
+  EXPECT_TRUE(exercised);
+}
+
 }  // namespace
 }  // namespace ipa::ftl
