@@ -14,6 +14,7 @@
 #include "bench/harness.h"
 #include "ftl/blackbox_ssd.h"
 #include "workload/tpcb.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -117,4 +118,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

@@ -14,6 +14,7 @@
 
 #include "bench/harness.h"
 #include "ftl/noftl.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -118,4 +119,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

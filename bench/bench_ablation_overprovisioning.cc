@@ -9,6 +9,7 @@
 
 #include "bench/harness.h"
 #include "bench/parallel_runner.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -59,4 +60,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

@@ -17,6 +17,7 @@
 #include "storage/delta_record.h"
 #include "storage/slotted_page.h"
 #include "workload/testbed.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -114,4 +115,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

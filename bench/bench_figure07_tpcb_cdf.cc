@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "bench/cdf_common.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   using namespace ipa::bench;
   std::printf("Figure 7: CDF of update-sizes in TPC-B in net data [%%].\n\n");
   return PrintUpdateSizeCdf(Wl::kTpcb, {0.10, 0.20, 0.50, 0.75, 0.90},

@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "bench/cdf_common.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   using namespace ipa::bench;
   std::printf(
       "Figure 8: CDF of update-sizes in TPC-C in net data "

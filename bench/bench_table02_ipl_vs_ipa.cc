@@ -13,6 +13,7 @@
 #include "bench/parallel_runner.h"
 #include "ipl/comparison.h"
 #include "ipl/ipl_simulator.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -113,4 +114,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

@@ -8,8 +8,10 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   std::printf(
       "Table 6: TPC-B on OpenSSD: no IPA [0x0] vs [2x4] in pSLC and\n"
       "odd-MLC modes.\n\n");

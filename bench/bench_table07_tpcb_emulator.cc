@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   using namespace ipa::bench;
   std::printf(
       "Table 7: TPC-B on the flash emulator: no IPA [0x0] vs [2x4] and\n"

@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   std::printf(
       "Table 8: TPC-C on OpenSSD: no IPA [0x0] vs [2x3] in pSLC and\n"
       "odd-MLC modes.\n\n");

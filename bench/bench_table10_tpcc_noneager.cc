@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "common/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   using namespace ipa::bench;
   std::printf(
       "Table 10: TPC-C, no IPA [0x0] vs [2xM], buffers 10-90%%, non-eager\n"

@@ -8,6 +8,7 @@
 
 #include "bench/harness.h"
 #include "bench/parallel_runner.h"
+#include "common/metrics.h"
 
 namespace ipa::bench {
 namespace {
@@ -63,4 +64,7 @@ int Run() {
 }  // namespace
 }  // namespace ipa::bench
 
-int main() { return ipa::bench::Run(); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::bench::Run();
+}

@@ -58,7 +58,20 @@ void WriteBenchJsonAtExit() {
 
 void RegisterJsonAtExit() {
   static std::once_flag once;
-  std::call_once(once, [] { std::atexit(WriteBenchJsonAtExit); });
+  std::call_once(once, [] {
+    // Fail fast on an unwritable path: a CI job that silently drops its
+    // timing report looks identical to one that never produced it.
+    if (const char* path = std::getenv("IPA_BENCH_JSON"); path && *path) {
+      std::FILE* f = std::fopen(path, "ab");
+      if (!f) {
+        std::fprintf(stderr, "IPA_BENCH_JSON: cannot open '%s' for writing\n",
+                     path);
+        std::exit(2);
+      }
+      std::fclose(f);
+    }
+    std::atexit(WriteBenchJsonAtExit);
+  });
 }
 
 double MillisSince(std::chrono::steady_clock::time_point t0) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate the CI perf-gate baselines under bench/baselines/.
+#
+# Run after a change that intentionally shifts the simulated I/O profile,
+# commit the result, and explain the shift in the PR. The snapshots are
+# deterministic (bit-identical for any IPA_JOBS), so a diff here is a real
+# behavior change, never thread-scheduling noise.
+#
+# Usage: scripts/update_baselines.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+for bin in bench/bench_table02_ipl_vs_ipa bench/bench_table07_tpcb_emulator \
+           tools/crash_sweep; do
+  if [ ! -x "$BUILD/$bin" ]; then
+    echo "update_baselines: missing $BUILD/$bin (build it first)" >&2
+    exit 2
+  fi
+done
+
+mkdir -p bench/baselines
+export IPA_SCALE=0.1 IPA_JOBS=4
+
+echo "== table02_ipl_vs_ipa"
+"$BUILD/bench/bench_table02_ipl_vs_ipa" \
+  --metrics-json bench/baselines/table02_ipl_vs_ipa.json > /dev/null
+echo "== table07_tpcb_emulator"
+"$BUILD/bench/bench_table07_tpcb_emulator" \
+  --metrics-json bench/baselines/table07_tpcb_emulator.json > /dev/null
+echo "== crash_sweep"
+"$BUILD/tools/crash_sweep" --points 300 \
+  --metrics-json bench/baselines/crash_sweep.json > /dev/null
+
+git status --short bench/baselines/

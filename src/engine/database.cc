@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "storage/slotted_page.h"
 
 namespace ipa::engine {
 
 namespace {
+
+struct DbCounters {
+  metrics::Counter commits{"db.commits"};
+  metrics::Counter aborts{"db.aborts"};
+  metrics::Counter recovery_rollbacks{"db.recovery_rollbacks"};
+  metrics::Counter checkpoints{"db.checkpoints"};
+  metrics::Histogram txn_latency{"db.txn_latency_us"};
+};
+
+DbCounters& Dm() {
+  static DbCounters counters;
+  return counters;
+}
 
 /// Pack the info needed to redo a page format into aux64.
 uint64_t PackFormatAux(TableId table, storage::Scheme s) {
@@ -142,9 +156,11 @@ Status Database::Commit(TxnId txn) {
   auto bt = txn_begin_time_.find(txn);
   if (bt != txn_begin_time_.end()) {
     txn_stats_.txn_latency.Add(clock_->Now() - bt->second);
+    Dm().txn_latency.Record(clock_->Now() - bt->second);
     txn_begin_time_.erase(bt);
   }
   txn_stats_.commits++;
+  Dm().commits.Inc();
   IPA_RETURN_NOT_OK(pool_->MaybeRunCleaner());
   return MaybeReclaimLog();
 }
@@ -170,6 +186,9 @@ Status Database::Abort(TxnId txn) {
   txns_.erase(txn);
   txn_begin_time_.erase(txn);
   txn_stats_.aborts++;
+  // Recovery rollbacks are not workload aborts (the caller rebalances
+  // txn_stats_); keep the process-wide counters on the same definition.
+  (in_recovery_ ? Dm().recovery_rollbacks : Dm().aborts).Inc();
   return Status::OK();
 }
 
@@ -402,6 +421,7 @@ Status Database::Scan(TableId table,
 }
 
 Status Database::Checkpoint() {
+  IPA_TRACE_SPAN("db.checkpoint", clock_);
   // Checkpoint flushes run as background writes (Shore-MT's checkpointer and
   // page cleaners do not stall user transactions on data-page I/O).
   IPA_RETURN_NOT_OK(pool_->FlushAll(config_.cleaner_async));
@@ -415,6 +435,7 @@ Status Database::Checkpoint() {
   }
   IPA_RETURN_NOT_OK(wal_.TruncateTo(bound));
   checkpoints_++;
+  Dm().checkpoints.Inc();
   return Status::OK();
 }
 
@@ -594,6 +615,7 @@ Status Database::RecoverAfterPowerLoss() {
 }
 
 Status Database::Recover() {
+  IPA_TRACE_SPAN("db.recovery", clock_);
   in_recovery_ = true;
   // -- Analysis: find loser transactions and their last LSNs.
   std::unordered_map<TxnId, TxnState> losers;

@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace ipa::flash {
+
+namespace {
+
+/// Process-wide flash-layer counters (naming: docs/METRICS.md). These shadow
+/// the per-device DeviceStats so observability sees every device in the
+/// process; registration happens once, on first use.
+struct FlashCounters {
+  metrics::Counter page_reads{"flash.page_reads"};
+  metrics::Counter bytes_read{"flash.bytes_read"};
+  metrics::Counter page_programs_lsb{"flash.page_programs.lsb"};
+  metrics::Counter page_programs_msb{"flash.page_programs.msb"};
+  metrics::Counter bytes_programmed{"flash.bytes_programmed"};
+  metrics::Counter delta_programs{"flash.delta_programs"};
+  metrics::Counter delta_bytes{"flash.delta_bytes_programmed"};
+  metrics::Counter block_erases{"flash.block_erases"};
+  metrics::Counter page_refreshes{"flash.page_refreshes"};
+  metrics::Counter ispp_rejections{"flash.ispp_rejections"};
+  metrics::Counter retention_flips{"flash.bit_errors.retention"};
+  metrics::Counter interference_flips{"flash.bit_errors.interference"};
+  metrics::Counter power_loss_injections{"flash.power_loss_injections"};
+};
+
+FlashCounters& Fm() {
+  static FlashCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 FlashArray::FlashArray(const Geometry& geometry, const TimingModel& timing,
                        const ErrorModel& errors, SimClock* clock)
@@ -147,6 +177,7 @@ void FlashArray::MaybeInjectRetention(PageState& page) {
   if ((page.data[byte] & (1u << bit)) == 0) {
     page.data[byte] |= static_cast<uint8_t>(1u << bit);
     stats_.retention_flips++;
+    Fm().retention_flips.Inc();
   }
 }
 
@@ -177,6 +208,7 @@ void FlashArray::MaybeInjectInterference(Ppn lsb_ppn) {
       if (neighbor.data[byte] & (1u << bit)) {
         neighbor.data[byte] &= static_cast<uint8_t>(~(1u << bit));
         stats_.interference_flips++;
+        Fm().interference_flips.Inc();
         break;
       }
     }
@@ -198,6 +230,8 @@ Status FlashArray::ReadPage(Ppn ppn, uint8_t* out, IoTiming* t, bool sync) {
   Occupy(chip, 0, timing_.read_us, geo_.page_size, sync, t);
   stats_.page_reads++;
   stats_.bytes_read += geo_.page_size;
+  Fm().page_reads.Inc();
+  Fm().bytes_read.Add(geo_.page_size);
   return Status::OK();
 }
 
@@ -228,6 +262,7 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
     for (uint32_t i = 0; i < geo_.page_size; i++) {
       if ((data[i] & page.data[i]) != data[i]) {
         stats_.ispp_rejections++;
+        Fm().ispp_rejections.Inc();
         return Status::NotSupported("re-program requires 0->1 transition (ISPP)");
       }
     }
@@ -237,6 +272,7 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
     for (uint32_t i = 0; i < merged_oob; i++) {
       if ((oob[i] & page.oob[i]) != oob[i]) {
         stats_.ispp_rejections++;
+        Fm().ispp_rejections.Inc();
         return Status::NotSupported("OOB re-program requires 0->1 transition");
       }
     }
@@ -258,6 +294,7 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
     powered_on_ = false;
     stats_.power_loss_injections++;
     stats_.torn_page_programs++;
+    Fm().power_loss_injections.Inc();
     return Status::Unavailable("power loss during page program");
   }
 
@@ -270,6 +307,8 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
   Occupy(a.chip, geo_.page_size, prog_us, 0, sync, t);
   stats_.page_programs++;
   stats_.bytes_programmed += geo_.page_size;
+  (lsb ? Fm().page_programs_lsb : Fm().page_programs_msb).Inc();
+  Fm().bytes_programmed.Add(geo_.page_size);
   return Status::OK();
 }
 
@@ -297,6 +336,7 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
   for (uint32_t i = 0; i < len; i++) {
     if ((delta[i] & page.data[offset + i]) != delta[i]) {
       stats_.ispp_rejections++;
+      Fm().ispp_rejections.Inc();
       return Status::NotSupported("delta requires 0->1 transition (ISPP)");
     }
   }
@@ -306,6 +346,7 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
     powered_on_ = false;
     stats_.power_loss_injections++;
     stats_.torn_delta_programs++;
+    Fm().power_loss_injections.Inc();
     return Status::Unavailable("power loss during delta program");
   }
   std::memcpy(page.data.data() + offset, delta, len);
@@ -316,6 +357,8 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
   Occupy(a.chip, len, timing_.program_delta_us, 0, sync, t);
   stats_.delta_programs++;
   stats_.delta_bytes_programmed += len;
+  Fm().delta_programs.Inc();
+  Fm().delta_bytes.Add(len);
   return Status::OK();
 }
 
@@ -331,6 +374,7 @@ Status FlashArray::ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes,
   for (uint32_t i = 0; i < len; i++) {
     if ((bytes[i] & page.oob[offset + i]) != bytes[i]) {
       stats_.ispp_rejections++;
+      Fm().ispp_rejections.Inc();
       return Status::NotSupported("OOB delta requires 0->1 transition (ISPP)");
     }
     page.oob[offset + i] = bytes[i];
@@ -362,6 +406,7 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
   for (uint32_t i = 0; i < geo_.page_size; i++) {
     if ((data[i] & page.data[i]) != data[i]) {
       stats_.ispp_rejections++;
+      Fm().ispp_rejections.Inc();
       return Status::NotSupported("refresh requires 0->1 transition (ISPP)");
     }
   }
@@ -371,6 +416,7 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
   Occupy(a.chip, geo_.page_size,
          lsb ? timing_.program_lsb_us : timing_.program_msb_us, 0, sync, t);
   stats_.page_refreshes++;
+  Fm().page_refreshes.Inc();
   return Status::OK();
 }
 
@@ -394,6 +440,7 @@ Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
     powered_on_ = false;
     stats_.power_loss_injections++;
     stats_.torn_erases++;
+    Fm().power_loss_injections.Inc();
     return Status::Unavailable("power loss during block erase");
   }
   blk.pages.clear();
@@ -403,6 +450,7 @@ Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
   uint32_t chip = static_cast<uint32_t>(pbn / geo_.blocks_per_chip);
   Occupy(chip, 0, timing_.erase_us, 0, sync, t);
   stats_.block_erases++;
+  Fm().block_erases.Inc();
   return Status::OK();
 }
 

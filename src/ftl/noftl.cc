@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "flash/ecc.h"
 
 namespace ipa::ftl {
@@ -12,6 +13,35 @@ namespace {
 /// OOB slot entry for one appended delta: offset(2) + len(2) + ECC(6).
 constexpr uint32_t kSlotBytes = 10;
 constexpr uint32_t kSlotEccBytes = 6;  // covers deltas up to 512 bytes
+
+/// Process-wide FTL counters, summed over every region of every NoFtl in the
+/// process (per-region splits stay in RegionStats).
+struct FtlCounters {
+  metrics::Counter gc_page_migrations{"ftl.gc.page_migrations"};
+  metrics::Counter gc_erases{"ftl.gc.erases"};
+  metrics::Counter scrub_refreshes{"ftl.scrub.refreshes"};
+  metrics::Counter wear_level_migrations{"ftl.wear_level.migrations"};
+  metrics::Counter wear_level_swaps{"ftl.wear_level.swaps"};
+  metrics::Counter mount_pages_scanned{"ftl.mount_scan.pages_scanned"};
+  metrics::Counter mount_torn_quarantined{"ftl.mount_scan.torn_pages_quarantined"};
+  metrics::Counter mount_torn_bytes{"ftl.mount_scan.torn_bytes_dropped"};
+  metrics::Counter mount_uncorrectable{"ftl.mount_scan.uncorrectable_pages"};
+  metrics::Counter host_reads{"ftl.host_reads"};
+  metrics::Counter host_page_writes{"ftl.host_page_writes"};
+  metrics::Counter host_delta_writes{"ftl.host_delta_writes"};
+  metrics::Counter delta_bytes_written{"ftl.delta_bytes_written"};
+  metrics::Counter delta_fallbacks{"ftl.delta_fallbacks"};
+  metrics::Counter map_updates{"ftl.map_updates"};
+  metrics::Counter trims{"ftl.trims"};
+  metrics::Histogram read_latency{"ftl.read_latency_us"};
+  metrics::Histogram write_latency{"ftl.write_latency_us"};
+  metrics::Histogram delta_write_latency{"ftl.delta_write_latency_us"};
+};
+
+FtlCounters& Fm() {
+  static FtlCounters counters;
+  return counters;
+}
 }  // namespace
 
 const char* IpaModeName(IpaMode m) {
@@ -227,6 +257,7 @@ Status NoFtl::RunGcIfNeeded(Region& reg) {
 }
 
 Status NoFtl::GarbageCollect(Region& reg) {
+  IPA_TRACE_SPAN("ftl.gc", &device_->clock());
   const auto& g = device_->geometry();
   uint32_t usable = UsablePagesPerBlock(reg);
   // Greedy victim selection: the non-active block with the most reclaimable
@@ -276,6 +307,8 @@ Status NoFtl::GarbageCollect(Region& reg) {
     reg.blocks[new_bidx].valid++;
     reg.map[lba] = new_ppn;
     reg.stats.gc_page_migrations++;
+    Fm().gc_page_migrations.Inc();
+    Fm().map_updates.Inc();
   }
 
   IPA_RETURN_NOT_OK(device_->EraseBlock(vb.pbn, nullptr, false));
@@ -284,6 +317,7 @@ Status NoFtl::GarbageCollect(Region& reg) {
   vb.valid = 0;
   reg.free_blocks.push_back(static_cast<uint32_t>(victim));
   reg.stats.gc_erases++;
+  Fm().gc_erases.Inc();
   return Status::OK();
 }
 
@@ -292,6 +326,7 @@ Status NoFtl::GarbageCollect(Region& reg) {
 // ---------------------------------------------------------------------------
 
 Status NoFtl::ScrubRegion(RegionId r, bool refresh_all) {
+  IPA_TRACE_SPAN("ftl.scrub", &device_->clock());
   Region& reg = regions_[r];
   const auto& g = device_->geometry();
   std::vector<uint8_t> buf(g.page_size);
@@ -312,6 +347,7 @@ Status NoFtl::ScrubRegion(RegionId r, bool refresh_all) {
       if (s.IsNotSupported()) continue;  // interference-cleared bit: skip
       IPA_RETURN_NOT_OK(s);
       reg.stats.scrub_refreshes++;
+      Fm().scrub_refreshes.Inc();
     }
   }
   return Status::OK();
@@ -329,6 +365,7 @@ uint32_t NoFtl::EraseSpread(RegionId r) const {
 }
 
 Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
+  IPA_TRACE_SPAN("ftl.wear_level", &device_->clock());
   Region& reg = regions_[r];
   const auto& g = device_->geometry();
   if (EraseSpread(r) <= max_spread) return Status::OK();
@@ -378,6 +415,8 @@ Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
     reg.rmap[cidx] = kInvalidLba;
     reg.map[lba] = dst;
     reg.stats.wear_level_migrations++;
+    Fm().wear_level_migrations.Inc();
+    Fm().map_updates.Inc();
   }
   wb.is_free = false;
   wb.valid = cb.valid;
@@ -395,6 +434,7 @@ Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
   cb.next_page = 0;
   reg.free_blocks.push_back(static_cast<uint32_t>(cold));
   reg.stats.wear_level_swaps++;
+  Fm().wear_level_swaps.Inc();
   return Status::OK();
 }
 
@@ -503,6 +543,7 @@ uint32_t NoFtl::ScrubUncoveredDeltaBytes(Region& reg, flash::Ppn ppn,
 }
 
 Status NoFtl::MountScan(RegionId r, MountScanReport* report) {
+  IPA_TRACE_SPAN("ftl.mount_scan", &device_->clock());
   Region& reg = regions_[r];
   const auto& g = device_->geometry();
   MountScanReport rep;
@@ -513,16 +554,19 @@ Status NoFtl::MountScan(RegionId r, MountScanReport* report) {
       flash::Ppn ppn = reg.map[lba];
       if (ppn == flash::kInvalidPpn) continue;
       rep.pages_scanned++;
+      Fm().mount_pages_scanned.Inc();
       IPA_RETURN_NOT_OK(device_->ReadPage(ppn, buf.data(), nullptr, false));
       Status s = VerifyEcc(reg, ppn, buf.data());
       if (s.IsCorruption()) {
         rep.uncorrectable_pages++;  // beyond DBMS-side repair; WAL redo rewrites
+        Fm().mount_uncorrectable.Inc();
         continue;
       }
       IPA_RETURN_NOT_OK(s);
       uint32_t dropped = ScrubUncoveredDeltaBytes(reg, ppn, buf.data());
       if (dropped == 0) continue;
       rep.torn_bytes_dropped += dropped;
+      Fm().mount_torn_bytes.Add(dropped);
       // Quarantine: the torn bytes sit in flash cells that already took
       // charge, so the page can never absorb a clean append there again.
       // Rewrite the scrubbed image (with its OOB, preserving valid delta
@@ -541,6 +585,8 @@ Status NoFtl::MountScan(RegionId r, MountScanReport* report) {
       reg.blocks[new_bidx].valid++;
       reg.stats.torn_pages_quarantined++;
       rep.torn_pages_quarantined++;
+      Fm().mount_torn_quarantined.Inc();
+      Fm().map_updates.Inc();
     }
   }
   if (report) *report = rep;
@@ -564,6 +610,8 @@ Status NoFtl::ReadPage(RegionId r, Lba lba, uint8_t* out) {
   flash::IoTiming t;
   IPA_RETURN_NOT_OK(device_->ReadPage(ppn, out, &t, true));
   reg.stats.read_latency.Add(t.LatencyUs());
+  Fm().host_reads.Inc();
+  Fm().read_latency.Record(t.LatencyUs());
   if (reg.config.manage_ecc) {
     IPA_RETURN_NOT_OK(VerifyEcc(reg, ppn, out));
     // Never serve torn (power-loss-interrupted) delta bytes to the host.
@@ -597,6 +645,9 @@ Status NoFtl::WritePage(RegionId r, Lba lba, const uint8_t* data, bool sync) {
 
   reg.stats.host_page_writes++;
   reg.stats.write_latency.Add(t.LatencyUs());
+  Fm().host_page_writes.Inc();
+  Fm().map_updates.Inc();
+  Fm().write_latency.Record(t.LatencyUs());
   return Status::OK();
 }
 
@@ -616,6 +667,7 @@ Status NoFtl::WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* by
   if (reg.config.ipa_mode == IpaMode::kOddMlc &&
       !flash::IsLsbPage(g, page_in_block)) {
     reg.stats.delta_fallbacks++;
+    Fm().delta_fallbacks.Inc();
     return Status::NotSupported("logical page resides on an MSB flash page");
   }
   uint32_t slot = 0;
@@ -635,6 +687,7 @@ Status NoFtl::WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* by
     }
     if (!found) {
       reg.stats.delta_fallbacks++;
+      Fm().delta_fallbacks.Inc();
       return Status::NotSupported("no free OOB ECC slot for delta");
     }
   }
@@ -642,7 +695,10 @@ Status NoFtl::WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* by
   flash::IoTiming t;
   Status s = device_->ProgramDelta(ppn, offset, bytes, len, &t, sync);
   if (!s.ok()) {
-    if (s.IsNotSupported()) reg.stats.delta_fallbacks++;
+    if (s.IsNotSupported()) {
+      reg.stats.delta_fallbacks++;
+      Fm().delta_fallbacks.Inc();
+    }
     return s;
   }
   if (reg.config.manage_ecc) {
@@ -651,6 +707,9 @@ Status NoFtl::WriteDelta(RegionId r, Lba lba, uint32_t offset, const uint8_t* by
   reg.stats.host_delta_writes++;
   reg.stats.delta_bytes_written += len;
   reg.stats.delta_write_latency.Add(t.LatencyUs());
+  Fm().host_delta_writes.Inc();
+  Fm().delta_bytes_written.Add(len);
+  Fm().delta_write_latency.Record(t.LatencyUs());
   return Status::OK();
 }
 
@@ -685,6 +744,8 @@ Status NoFtl::Trim(RegionId r, Lba lba) {
   if (old != flash::kInvalidPpn) {
     Invalidate(reg, old);
     reg.map[lba] = flash::kInvalidPpn;
+    Fm().trims.Inc();
+    Fm().map_updates.Inc();
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 
 namespace ipa::workload {
 
@@ -406,17 +407,31 @@ Result<bool> Linkbench::GetLinkList() {
 }
 
 Result<bool> Linkbench::RunTransaction() {
+  struct Mix {
+    metrics::Counter get_node{"workload.linkbench.get_node"};
+    metrics::Counter add_node{"workload.linkbench.add_node"};
+    metrics::Counter update_node{"workload.linkbench.update_node"};
+    metrics::Counter delete_node{"workload.linkbench.delete_node"};
+    metrics::Counter get_link{"workload.linkbench.get_link"};
+    metrics::Counter add_link{"workload.linkbench.add_link"};
+    metrics::Counter delete_link{"workload.linkbench.delete_link"};
+    metrics::Counter update_link{"workload.linkbench.update_link"};
+    metrics::Counter count_link{"workload.linkbench.count_link"};
+    metrics::Counter get_link_list{"workload.linkbench.get_link_list"};
+  };
+  static Mix mix;
   // LinkBench paper operation mix.
   double p = rng_.NextDouble();
-  if (p < 0.129) return GetNode();
-  if (p < 0.155) return AddNode();
-  if (p < 0.229) return UpdateNode();
-  if (p < 0.239) return DeleteNode();
-  if (p < 0.249) return GetLink();  // GET_LINK + MULTIGET
-  if (p < 0.339) return AddLink();
-  if (p < 0.369) return DeleteLink();
-  if (p < 0.449) return UpdateLink();
-  if (p < 0.498) return CountLink();
+  if (p < 0.129) { mix.get_node.Inc(); return GetNode(); }
+  if (p < 0.155) { mix.add_node.Inc(); return AddNode(); }
+  if (p < 0.229) { mix.update_node.Inc(); return UpdateNode(); }
+  if (p < 0.239) { mix.delete_node.Inc(); return DeleteNode(); }
+  if (p < 0.249) { mix.get_link.Inc(); return GetLink(); }  // GET_LINK + MULTIGET
+  if (p < 0.339) { mix.add_link.Inc(); return AddLink(); }
+  if (p < 0.369) { mix.delete_link.Inc(); return DeleteLink(); }
+  if (p < 0.449) { mix.update_link.Inc(); return UpdateLink(); }
+  if (p < 0.498) { mix.count_link.Inc(); return CountLink(); }
+  mix.get_link_list.Inc();
   return GetLinkList();
 }
 

@@ -1,6 +1,7 @@
 #include "workload/tatp.h"
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 
 namespace ipa::workload {
 
@@ -302,14 +303,25 @@ Result<bool> Tatp::DeleteCallForwarding() {
 }
 
 Result<bool> Tatp::RunTransaction() {
+  struct Mix {
+    metrics::Counter get_subscriber{"workload.tatp.get_subscriber_data"};
+    metrics::Counter get_new_dest{"workload.tatp.get_new_destination"};
+    metrics::Counter get_access{"workload.tatp.get_access_data"};
+    metrics::Counter upd_subscriber{"workload.tatp.update_subscriber_data"};
+    metrics::Counter upd_location{"workload.tatp.update_location"};
+    metrics::Counter ins_call_fwd{"workload.tatp.insert_call_forwarding"};
+    metrics::Counter del_call_fwd{"workload.tatp.delete_call_forwarding"};
+  };
+  static Mix mix;
   // Standard TATP mix.
   double p = rng_.NextDouble();
-  if (p < 0.35) return GetSubscriberData();
-  if (p < 0.45) return GetNewDestination();
-  if (p < 0.80) return GetAccessData();
-  if (p < 0.82) return UpdateSubscriberData();
-  if (p < 0.96) return UpdateLocation();
-  if (p < 0.98) return InsertCallForwarding();
+  if (p < 0.35) { mix.get_subscriber.Inc(); return GetSubscriberData(); }
+  if (p < 0.45) { mix.get_new_dest.Inc(); return GetNewDestination(); }
+  if (p < 0.80) { mix.get_access.Inc(); return GetAccessData(); }
+  if (p < 0.82) { mix.upd_subscriber.Inc(); return UpdateSubscriberData(); }
+  if (p < 0.96) { mix.upd_location.Inc(); return UpdateLocation(); }
+  if (p < 0.98) { mix.ins_call_fwd.Inc(); return InsertCallForwarding(); }
+  mix.del_call_fwd.Inc();
   return DeleteCallForwarding();
 }
 

@@ -1,6 +1,7 @@
 #include "workload/tpcb.h"
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 
 namespace ipa::workload {
 
@@ -105,6 +106,8 @@ Status Tpcb::RebuildIndexes() {
 }
 
 Result<bool> Tpcb::RunTransaction() {
+  static metrics::Counter account_update("workload.tpcb.account_update");
+  account_update.Inc();
   // Account_Update: the only TPC-B transaction.
   uint64_t accounts =
       static_cast<uint64_t>(config_.branches) * config_.accounts_per_branch;
@@ -158,9 +161,13 @@ Result<bool> Tpcb::RunTransaction() {
 }
 
 Status RunTransactions(Workload& w, uint64_t n) {
+  static metrics::Counter txns("workload.txns");
+  static metrics::Counter rollbacks("workload.rollbacks");
   for (uint64_t i = 0; i < n; i++) {
     auto r = w.RunTransaction();
     IPA_RETURN_NOT_OK(r.status());
+    txns.Inc();
+    if (!r.value()) rollbacks.Inc();  // spec-mandated rollback, not an error
   }
   return Status::OK();
 }

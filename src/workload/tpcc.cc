@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 
 namespace ipa::workload {
 
@@ -598,11 +599,20 @@ Status Tpcc::RebuildIndexes() {
 }
 
 Result<bool> Tpcc::RunTransaction() {
+  struct Mix {
+    metrics::Counter new_order{"workload.tpcc.new_order"};
+    metrics::Counter payment{"workload.tpcc.payment"};
+    metrics::Counter order_status{"workload.tpcc.order_status"};
+    metrics::Counter delivery{"workload.tpcc.delivery"};
+    metrics::Counter stock_level{"workload.tpcc.stock_level"};
+  };
+  static Mix mix;
   double p = rng_.NextDouble();
-  if (p < 0.45) return NewOrder();
-  if (p < 0.88) return Payment();
-  if (p < 0.92) return OrderStatus();
-  if (p < 0.96) return Delivery();
+  if (p < 0.45) { mix.new_order.Inc(); return NewOrder(); }
+  if (p < 0.88) { mix.payment.Inc(); return Payment(); }
+  if (p < 0.92) { mix.order_status.Inc(); return OrderStatus(); }
+  if (p < 0.96) { mix.delivery.Inc(); return Delivery(); }
+  mix.stock_level.Inc();
   return StockLevel();
 }
 

@@ -1,0 +1,360 @@
+// Tests for the unified observability layer (src/common/metrics.h): sharded
+// counter merge under concurrent writers, snapshot determinism independent of
+// thread count, trace-span time attribution, the stable JSON schema
+// round-trip, and the CompareSnapshots regression check that backs
+// tools/bench_compare. LatencyStats percentile edge cases ride along since
+// bench tables lean on them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/stats.h"
+
+namespace ipa::metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Instance().ResetForTest(); }
+  void TearDown() override { Registry::Instance().ResetForTest(); }
+};
+
+TEST_F(MetricsTest, CounterGaugeHistogramBasics) {
+  Counter c("test.basics.counter");
+  Gauge g("test.basics.gauge");
+  Histogram h("test.basics.hist");
+
+  c.Inc();
+  c.Add(41);
+  g.Set(-7);
+  h.Record(0);
+  h.Record(1);
+  h.Record(1000);
+
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("test.basics.counter"), 42u);
+
+  const MetricValue* gv = snap.Find("test.basics.gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->type, Type::kGauge);
+  EXPECT_EQ(gv->gauge, -7);
+
+  const MetricValue* hv = snap.Find("test.basics.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->type, Type::kHistogram);
+  EXPECT_EQ(hv->hist.count, 3u);
+  EXPECT_EQ(hv->hist.sum, 1001u);
+  EXPECT_EQ(hv->hist.max, 1000u);
+  EXPECT_DOUBLE_EQ(hv->hist.Mean(), 1001.0 / 3.0);
+}
+
+TEST_F(MetricsTest, ReinternedHandleSharesCell) {
+  Counter a("test.shared.cell");
+  Counter b("test.shared.cell");
+  a.Inc();
+  b.Add(9);
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("test.shared.cell"), 10u);
+}
+
+// Shard merge under concurrent writers: every thread writes through its own
+// thread-local shard, threads retire at join, and the snapshot must see the
+// exact global sum. Runs under the `tsan` ctest label.
+TEST_F(MetricsTest, ConcurrentWritersMergeExactly) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIncrements = 20000;
+  Counter c("test.concurrent.counter");
+  Histogram h("test.concurrent.hist");
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    pool.emplace_back([&, t] {
+      Counter local("test.concurrent.counter");  // re-intern on purpose
+      for (uint64_t i = 0; i < kIncrements; i++) {
+        (i % 2 ? c : local).Inc();
+        h.Record(static_cast<uint64_t>(t) * kIncrements + i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("test.concurrent.counter"), kThreads * kIncrements);
+  const MetricValue* hv = snap.Find("test.concurrent.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->hist.count, kThreads * kIncrements);
+}
+
+// A snapshot taken while writer threads are still live (shards not yet
+// retired) must still fold their cells in.
+TEST_F(MetricsTest, SnapshotSeesLiveShards) {
+  Counter c("test.live.counter");
+  std::atomic<bool> wrote{false};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    c.Add(5);
+    wrote.store(true);
+    while (!done.load()) std::this_thread::yield();
+  });
+  while (!wrote.load()) std::this_thread::yield();
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("test.live.counter"), 5u);
+  done.store(true);
+  writer.join();
+}
+
+// The serialized snapshot must not depend on how work was spread over
+// threads — the IPA_JOBS=1 vs IPA_JOBS=8 bit-identical contract.
+TEST_F(MetricsTest, SnapshotJsonIndependentOfThreadCount) {
+  auto run = [](unsigned jobs) {
+    Registry::Instance().ResetForTest();
+    Counter c("test.determinism.counter");
+    Histogram h("test.determinism.hist");
+    constexpr uint64_t kTotal = 24000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < jobs; t++) {
+      pool.emplace_back([&, t] {
+        for (uint64_t i = t; i < kTotal; i += jobs) {
+          c.Add(3);
+          h.Record(i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    return Registry::Instance().TakeSnapshot().ToJson();
+  };
+  std::string one = run(1);
+  std::string eight = run(8);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(MetricsTest, SpanAttributesSimTimeWithSelfExclusion) {
+  SimClock clock;
+  SpanSite outer_site("test.span.outer");
+  SpanSite inner_site("test.span.inner");
+  {
+    ScopedSpan outer(outer_site, &clock);
+    clock.Advance(10);
+    {
+      ScopedSpan inner(inner_site, &clock);
+      clock.Advance(5);
+    }
+    clock.Advance(3);
+  }
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("trace.test.span.outer.calls"), 1u);
+  EXPECT_EQ(snap.Counter("trace.test.span.outer.sim_us"), 18u);
+  EXPECT_EQ(snap.Counter("trace.test.span.outer.self_us"), 13u);
+  EXPECT_EQ(snap.Counter("trace.test.span.inner.calls"), 1u);
+  EXPECT_EQ(snap.Counter("trace.test.span.inner.sim_us"), 5u);
+  EXPECT_EQ(snap.Counter("trace.test.span.inner.self_us"), 5u);
+}
+
+TEST_F(MetricsTest, SpanWithoutClockCountsCallsOnly) {
+  SpanSite site("test.span.noclock");
+  { IPA_TRACE_SPAN("test.span.macro"); }
+  { ScopedSpan s(site, nullptr); }
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  EXPECT_EQ(snap.Counter("trace.test.span.noclock.calls"), 1u);
+  EXPECT_EQ(snap.Counter("trace.test.span.noclock.sim_us"), 0u);
+  EXPECT_EQ(snap.Counter("trace.test.span.macro.calls"), 1u);
+}
+
+TEST_F(MetricsTest, JsonRoundTripPreservesSnapshot) {
+  Counter c("test.roundtrip.counter");
+  Gauge g("test.roundtrip.gauge");
+  Histogram h("test.roundtrip.hist");
+  c.Add(123456789);
+  g.Set(-42);
+  for (uint64_t v : {0ull, 1ull, 7ull, 4096ull, 1ull << 40}) h.Record(v);
+
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  Snapshot parsed;
+  ASSERT_TRUE(ParseSnapshotJson(snap.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.metrics.size(), snap.metrics.size());
+  EXPECT_EQ(parsed.ToJson(), snap.ToJson());
+
+  CompareReport rep = CompareSnapshots(snap, parsed);
+  EXPECT_TRUE(rep.ok()) << (rep.diffs.empty() ? "" : rep.diffs[0]);
+}
+
+TEST_F(MetricsTest, WriteSnapshotJsonFileRoundTrip) {
+  Counter c("test.file.counter");
+  c.Add(7);
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+
+  std::string path =
+      ::testing::TempDir() + "/metrics_test_roundtrip.json";
+  ASSERT_TRUE(WriteSnapshotJson(snap, path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  Snapshot parsed;
+  ASSERT_TRUE(ParseSnapshotJson(text, &parsed).ok());
+  EXPECT_EQ(parsed.Counter("test.file.counter"), 7u);
+  EXPECT_FALSE(WriteSnapshotJson(snap, "/nonexistent-dir/metrics.json"));
+}
+
+TEST_F(MetricsTest, ParseRejectsGarbageAndWrongSchema) {
+  Snapshot out;
+  EXPECT_FALSE(ParseSnapshotJson("not json", &out).ok());
+  EXPECT_FALSE(
+      ParseSnapshotJson("{\"schema\": \"something-else\", \"metrics\": []}",
+                        &out)
+          .ok());
+}
+
+// The regression check behind tools/bench_compare: deterministic metrics
+// diff exactly, histograms within a relative tolerance.
+TEST_F(MetricsTest, CompareDetectsInjectedRegression) {
+  Counter c("test.compare.counter");
+  Histogram h("test.compare.hist");
+  c.Add(100);
+  for (uint64_t i = 0; i < 1000; i++) h.Record(i);
+  Snapshot baseline = Registry::Instance().TakeSnapshot();
+
+  Snapshot same = baseline;
+  EXPECT_TRUE(CompareSnapshots(baseline, same).ok());
+
+  // Injected counter regression: exact mismatch, always a diff.
+  Snapshot worse = baseline;
+  for (MetricValue& m : worse.metrics) {
+    if (m.name == "test.compare.counter") m.value += 1;
+  }
+  CompareReport rep = CompareSnapshots(baseline, worse);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_FALSE(rep.diffs.empty());
+  EXPECT_NE(rep.diffs[0].find("test.compare.counter"), std::string::npos);
+
+  // Histogram drift inside the tolerance passes, outside fails.
+  Snapshot drift = baseline;
+  for (MetricValue& m : drift.metrics) {
+    if (m.name == "test.compare.hist") m.hist.sum += m.hist.sum / 50;  // +2%
+  }
+  EXPECT_TRUE(CompareSnapshots(baseline, drift, {.histogram_tolerance = 0.05})
+                  .ok());
+  EXPECT_FALSE(
+      CompareSnapshots(baseline, drift, {.histogram_tolerance = 0.01}).ok());
+}
+
+TEST_F(MetricsTest, CompareHandlesMissingNewAndIgnoredMetrics) {
+  Counter a("test.compare2.a");
+  Counter b("test.compare2.noise.b");
+  a.Inc();
+  b.Inc();
+  Snapshot baseline = Registry::Instance().TakeSnapshot();
+
+  // A metric present in the baseline but missing from the current run.
+  Snapshot current = baseline;
+  std::erase_if(current.metrics,
+                [](const MetricValue& m) { return m.name == "test.compare2.a"; });
+  EXPECT_FALSE(CompareSnapshots(baseline, current).ok());
+
+  // New metrics are a note, not a failure. Snapshot::Find binary-searches,
+  // so insertion must keep the name-sorted invariant.
+  Snapshot extra = baseline;
+  MetricValue nv;
+  nv.name = "test.compare2.new";
+  nv.value = 1;
+  extra.metrics.insert(
+      std::lower_bound(extra.metrics.begin(), extra.metrics.end(), nv.name,
+                       [](const MetricValue& m, const std::string& n) {
+                         return m.name < n;
+                       }),
+      nv);
+  CompareReport rep = CompareSnapshots(baseline, extra);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.notes.empty());
+
+  // Ignored prefixes suppress diffs entirely.
+  Snapshot noisy = baseline;
+  for (MetricValue& m : noisy.metrics) {
+    if (m.name == "test.compare2.noise.b") m.value += 99;
+  }
+  EXPECT_FALSE(CompareSnapshots(baseline, noisy).ok());
+  CompareOptions opts;
+  opts.ignore_prefixes = {"test.compare2.noise."};
+  EXPECT_TRUE(CompareSnapshots(baseline, noisy, opts).ok());
+}
+
+TEST_F(MetricsTest, HistogramValueMergeAndPercentiles) {
+  HistogramValue a, b;
+  a.count = 2;
+  a.sum = 10;
+  a.max = 8;
+  a.buckets[4] = 2;  // two samples in [8, 15]
+  b.count = 1;
+  b.sum = 100;
+  b.max = 100;
+  b.buckets[7] = 1;  // one sample in [64, 127]
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 110u);
+  EXPECT_EQ(a.max, 100u);
+  // p50 lands in the [8,15] bucket, p100 in the [64,127] bucket.
+  EXPECT_EQ(a.PercentileUpperBound(50), 15u);
+  EXPECT_EQ(a.PercentileUpperBound(100), 127u);
+
+  HistogramValue empty;
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.PercentileUpperBound(99), 0u);
+}
+
+// LatencyStats (common/stats.h) percentile edge cases: the bench tables rely
+// on its linear-below-1ms / logarithmic-above bucketing.
+TEST(LatencyStatsTest, PercentileEdgeCases) {
+  LatencyStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.MeanMicros(), 0.0);
+  EXPECT_EQ(empty.PercentileMicros(50), 0u);
+
+  LatencyStats one;
+  one.Add(17);
+  EXPECT_EQ(one.PercentileMicros(0), 17u);
+  EXPECT_EQ(one.PercentileMicros(50), 17u);
+  EXPECT_EQ(one.PercentileMicros(100), 17u);
+  EXPECT_EQ(one.MaxMicros(), 17u);
+
+  // Linear region (<1ms) is exact.
+  LatencyStats lin;
+  for (uint64_t v = 1; v <= 100; v++) lin.Add(v);
+  EXPECT_EQ(lin.PercentileMicros(50), 50u);
+  EXPECT_EQ(lin.PercentileMicros(99), 99u);
+  EXPECT_EQ(lin.PercentileMicros(100), 100u);
+
+  // Log region (>=1ms): the reported percentile is the power-of-two bucket's
+  // lower bound — within 2x below the true value. Max is tracked exactly.
+  LatencyStats log;
+  log.Add(5000);
+  log.Add(50000);
+  EXPECT_GE(log.PercentileMicros(100), 25000u);
+  EXPECT_LE(log.PercentileMicros(100), 50000u);
+  EXPECT_EQ(log.MaxMicros(), 50000u);
+  EXPECT_GE(log.PercentileMicros(40), 2500u);
+  EXPECT_LE(log.PercentileMicros(40), 5000u);
+
+  // Merge preserves count/sum/max.
+  LatencyStats m;
+  m.Merge(one);
+  m.Merge(log);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_EQ(m.MaxMicros(), 50000u);
+}
+
+}  // namespace
+}  // namespace ipa::metrics

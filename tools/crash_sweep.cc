@@ -5,7 +5,7 @@
 // injection point fails verification.
 //
 // Knobs: --txns N --accounts N --points N (0 = every op index) --seed N
-//        --jobs N (0 = IPA_JOBS / hardware) --json PATH
+//        --jobs N (0 = IPA_JOBS / hardware) --json PATH --metrics-json PATH
 // IPA_SCALE scales --txns (CI runs a downscaled sweep with IPA_SCALE=0.05).
 
 #include <cstdio>
@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench/crash_sweep.h"
+#include "common/metrics.h"
 
 namespace {
 
@@ -53,6 +54,7 @@ bool WriteJson(const char* path, const ipa::bench::CrashSweepReport& rep) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
   ipa::bench::CrashSweepConfig cfg;
   cfg.txns = ArgU64(argc, argv, "--txns", cfg.txns);
   cfg.accounts = static_cast<uint32_t>(ArgU64(argc, argv, "--accounts", cfg.accounts));
@@ -87,6 +89,12 @@ int main(int argc, char** argv) {
   std::printf("  failures           %llu\n",
               static_cast<unsigned long long>(rep.failures));
   std::printf("  fingerprint        %u\n", rep.Fingerprint());
+
+  // Expose the sweep outcome in the metrics snapshot so the CI perf gate can
+  // diff it against a checked-in baseline alongside the flash/FTL counters.
+  ipa::metrics::Gauge("crash_sweep.fingerprint").Set(rep.Fingerprint());
+  ipa::metrics::Gauge("crash_sweep.points").Set(static_cast<int64_t>(rep.points.size()));
+  ipa::metrics::Gauge("crash_sweep.failures").Set(static_cast<int64_t>(rep.failures));
 
   if (const char* path = ArgStr(argc, argv, "--json")) {
     if (!WriteJson(path, rep)) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bench/harness.h"
+#include "common/metrics.h"
 #include "core/advisor.h"
 #include "workload/testbed.h"
 
@@ -112,6 +113,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->eager = false;
     } else if (a == "--gross") {
       out->gross = true;
+    } else if (a == "--metrics-json") {
+      next();  // consumed by metrics::InitFromArgs before Main runs
+    } else if (a.rfind("--metrics-json=", 0) == 0) {
+      // handled by metrics::InitFromArgs
     } else {
       return false;
     }
@@ -278,4 +283,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace ipa
 
-int main(int argc, char** argv) { return ipa::Main(argc, argv); }
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  return ipa::Main(argc, argv);
+}
