@@ -34,8 +34,12 @@ uint64_t HistogramValue::PercentileUpperBound(double p) const {
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; i++) {
     seen += buckets[i];
-    // Bucket i holds values with bit_width == i, i.e. [2^(i-1), 2^i - 1].
-    if (seen >= target) return i == 0 ? 0 : (1ull << i) - 1;
+    // Bucket i holds values with bit_width == i, i.e. [2^(i-1), 2^i - 1];
+    // bucket 64 is unbounded above (shifting by 64 would be UB anyway).
+    if (seen >= target) {
+      if (i == 0) return 0;
+      return i >= 64 ? UINT64_MAX : (1ull << i) - 1;
+    }
   }
   return max;
 }
@@ -94,6 +98,7 @@ struct Registry::Impl {
   uint32_t next_gauge = 0;
   uint32_t next_hist = 0;
   bool overflow_warned = false;
+  bool type_mismatch_warned = false;
 
   std::vector<ThreadShard*> live_shards;
   /// Accumulated cells of exited threads (plain integers; merged under mu).
@@ -220,12 +225,26 @@ Registry& Registry::Instance() {
 uint32_t Registry::Intern(std::string_view name, Type type) {
   AdoptEnvExportPath();
   std::lock_guard<std::mutex> lock(impl_->mu);
-  auto it = impl_->defs.find(name);
-  if (it != impl_->defs.end()) return it->second.index;
-
   uint32_t limit = type == Type::kCounter   ? kMaxCounters
                    : type == Type::kGauge   ? kMaxGauges
                                             : kMaxHistograms;
+  auto it = impl_->defs.find(name);
+  if (it != impl_->defs.end()) {
+    if (it->second.type == type) return it->second.index;
+    // A name interned under one type must never hand its index to another
+    // type's accessor (the id spaces have different capacities, so a counter
+    // index can be out of bounds for the histogram shard arrays). Route the
+    // mismatched registration to the requested type's dead cell instead.
+    if (!impl_->type_mismatch_warned) {
+      impl_->type_mismatch_warned = true;
+      std::fprintf(stderr,
+                   "WARNING: metric '%.*s' already registered as %s; %s "
+                   "registration with the same name is dropped\n",
+                   static_cast<int>(name.size()), name.data(),
+                   TypeName(it->second.type), TypeName(type));
+    }
+    return limit - 1;
+  }
   uint32_t& next = type == Type::kCounter   ? impl_->next_counter
                    : type == Type::kGauge   ? impl_->next_gauge
                                             : impl_->next_hist;
@@ -724,6 +743,11 @@ CompareReport CompareSnapshots(const Snapshot& baseline, const Snapshot& current
         } else if (RelDiff(b.hist.Mean(), cur->hist.Mean()) > tol) {
           report.diffs.push_back(
               DiffLine(b.name, "histogram mean", b.hist.Mean(), cur->hist.Mean()));
+        } else if (RelDiff(static_cast<double>(b.hist.max),
+                           static_cast<double>(cur->hist.max)) > tol) {
+          report.diffs.push_back(DiffLine(b.name, "histogram max",
+                                          static_cast<double>(b.hist.max),
+                                          static_cast<double>(cur->hist.max)));
         }
         break;
       }

@@ -250,6 +250,16 @@ TEST_F(MetricsTest, CompareDetectsInjectedRegression) {
                   .ok());
   EXPECT_FALSE(
       CompareSnapshots(baseline, drift, {.histogram_tolerance = 0.01}).ok());
+
+  // A latency-max regression alone (count and mean unchanged) is a diff.
+  Snapshot worse_max = baseline;
+  for (MetricValue& m : worse_max.metrics) {
+    if (m.name == "test.compare.hist") m.hist.max *= 2;
+  }
+  CompareReport max_rep = CompareSnapshots(baseline, worse_max);
+  EXPECT_FALSE(max_rep.ok());
+  ASSERT_FALSE(max_rep.diffs.empty());
+  EXPECT_NE(max_rep.diffs[0].find("histogram max"), std::string::npos);
 }
 
 TEST_F(MetricsTest, CompareHandlesMissingNewAndIgnoredMetrics) {
@@ -313,6 +323,35 @@ TEST_F(MetricsTest, HistogramValueMergeAndPercentiles) {
   HistogramValue empty;
   EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
   EXPECT_EQ(empty.PercentileUpperBound(99), 0u);
+
+  // The last bucket (bit_width 64) is unbounded above; its upper bound must
+  // saturate instead of computing 1<<64.
+  HistogramValue top;
+  top.count = 1;
+  top.sum = UINT64_MAX;
+  top.max = UINT64_MAX;
+  top.buckets[64] = 1;
+  EXPECT_EQ(top.PercentileUpperBound(100), UINT64_MAX);
+}
+
+// A name interned under one type must not hand that type's index to another
+// type's accessor: the id spaces have different capacities, so doing so reads
+// or writes out of bounds. The mismatched handle routes to a dead cell and
+// the original metric keeps its value.
+TEST_F(MetricsTest, TypeCollisionRoutesToDeadCell) {
+  Counter c("test.typeclash.metric");
+  c.Add(5);
+
+  Histogram clash("test.typeclash.metric");
+  clash.Record(123);  // dead cell: must not corrupt anything
+  Gauge gclash("test.typeclash.metric");
+  gclash.Set(-1);
+
+  Snapshot snap = Registry::Instance().TakeSnapshot();
+  const MetricValue* m = snap.Find("test.typeclash.metric");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->type, Type::kCounter);
+  EXPECT_EQ(m->value, 5u);
 }
 
 // LatencyStats (common/stats.h) percentile edge cases: the bench tables rely
