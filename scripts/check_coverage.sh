@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Line-coverage gate for src/ (docs/TESTING.md).
+#
+# Usage: scripts/check_coverage.sh [build-dir] [floor-file]
+#
+# The build directory must have been configured with the "coverage" preset
+# (gcc --coverage) and the test suite run, so .gcda files exist. Computes the
+# line coverage of everything under src/ and fails when it drops below the
+# floor recorded in scripts/coverage_floor.txt (a percentage; raise it as
+# coverage improves, lower it only with justification in the PR).
+#
+# Uses gcovr when available; otherwise falls back to gcov --json-format plus
+# a small python aggregator, so the gate runs on bare toolchains too.
+# A per-file breakdown is written to <build-dir>/coverage_report.txt.
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build-coverage"}
+FLOOR_FILE=${2:-"$ROOT/scripts/coverage_floor.txt"}
+REPORT="$BUILD_DIR/coverage_report.txt"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "check_coverage: build dir '$BUILD_DIR' not found" >&2
+  echo "  configure with: cmake --preset coverage && cmake --build --preset coverage" >&2
+  exit 2
+fi
+floor=$(tr -d '[:space:]' < "$FLOOR_FILE")
+if [ -z "$floor" ]; then
+  echo "check_coverage: empty floor file $FLOOR_FILE" >&2
+  exit 2
+fi
+
+gcda_count=$(find "$BUILD_DIR" -name '*.gcda' | wc -l)
+if [ "$gcda_count" -eq 0 ]; then
+  echo "check_coverage: no .gcda files under $BUILD_DIR — run the tests first" >&2
+  echo "  ctest --preset coverage -j \$(nproc)" >&2
+  exit 2
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root "$ROOT" --filter "$ROOT/src/" "$BUILD_DIR" -o "$REPORT" || exit 2
+  pct=$(gcovr --root "$ROOT" --filter "$ROOT/src/" "$BUILD_DIR" --print-summary 2>/dev/null |
+        awk '/^lines:/ { sub(/%.*/, "", $2); print $2 }')
+else
+  # Fallback: gcov --json-format on every .gcda, aggregated in python. Lines
+  # are keyed (file, line) and a line counts as covered when any object file
+  # executed it — the same union gcovr computes.
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+  find "$BUILD_DIR" -name '*.gcda' -print0 |
+    (cd "$workdir" && xargs -0 gcov --json-format --preserve-paths >/dev/null 2>&1)
+  pct=$(GCOV_DIR="$workdir" SRC_PREFIX="$ROOT/src/" REPORT="$REPORT" python3 - <<'EOF'
+import glob, gzip, json, os, sys
+
+src_prefix = os.environ["SRC_PREFIX"]
+lines = {}  # (file, line) -> max count
+for path in glob.glob(os.path.join(os.environ["GCOV_DIR"], "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as f:
+        doc = json.load(f)
+    for fentry in doc.get("files", []):
+        name = os.path.normpath(os.path.join(doc.get("current_working_directory", ""),
+                                             fentry["file"]))
+        if not name.startswith(src_prefix):
+            continue
+        for ln in fentry.get("lines", []):
+            key = (name, ln["line_number"])
+            lines[key] = max(lines.get(key, 0), ln["count"])
+
+per_file = {}
+for (name, _), count in lines.items():
+    total, covered = per_file.get(name, (0, 0))
+    per_file[name] = (total + 1, covered + (1 if count > 0 else 0))
+
+total = sum(t for t, _ in per_file.values())
+covered = sum(c for _, c in per_file.values())
+if total == 0:
+    print("no src/ lines found in gcov output", file=sys.stderr)
+    sys.exit(2)
+with open(os.environ["REPORT"], "w") as rep:
+    for name in sorted(per_file):
+        t, c = per_file[name]
+        rep.write("%6.1f%%  %5d/%-5d  %s\n" % (100.0 * c / t, c, t,
+                                               os.path.relpath(name, src_prefix)))
+print("%.1f" % (100.0 * covered / total))
+EOF
+) || exit 2
+fi
+
+if [ -z "${pct:-}" ]; then
+  echo "check_coverage: could not compute a coverage percentage" >&2
+  exit 2
+fi
+
+echo "src/ line coverage: ${pct}% (floor ${floor}%), report: $REPORT"
+awk -v pct="$pct" -v floor="$floor" 'BEGIN {
+  if (pct + 0 < floor + 0) {
+    printf "FAIL: coverage %.1f%% is below the floor %.1f%%\n", pct, floor
+    exit 1
+  }
+  printf "OK: coverage %.1f%% >= floor %.1f%%\n", pct, floor
+}'

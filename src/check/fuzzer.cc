@@ -1,0 +1,581 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <sstream>
+
+#include "check/invariants.h"
+#include "check/model_db.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "flash/flash_array.h"
+#include "flash/timing.h"
+#include "ftl/noftl.h"
+#include "storage/page_format.h"
+
+namespace ipa::check {
+
+namespace {
+
+constexpr const char* kScheduleNames[kNumSchedules] = {
+    "slc", "slc-noneager", "pslc", "oddmlc", "slc-noecc"};
+
+constexpr const char* kKindNames[] = {
+    "insert", "update",     "resize",     "delete", "read",      "commit",
+    "abort",  "scancheck",  "checkpoint", "scrub",  "wearlevel", "powercut"};
+
+/// Deterministic payload bytes for one op.
+std::vector<uint8_t> Payload(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  return v;
+}
+
+/// One fully private simulated stack (same shape as the crash sweep's).
+struct Testbed {
+  flash::FlashArray dev;
+  ftl::NoFtl noftl;
+  std::unique_ptr<engine::Database> db;
+  ftl::RegionId region = 0;
+  engine::TablespaceId ts = 0;
+  engine::TableId tables[2] = {0, 0};
+
+  Testbed(const flash::Geometry& g, const flash::TimingModel& t)
+      : dev(g, t), noftl(&dev) {}
+};
+
+flash::Geometry GeoFor(Schedule s) {
+  flash::Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 48;
+  g.pages_per_block = 16;
+  g.page_size = 2048;
+  if (s == Schedule::kPSlc || s == Schedule::kOddMlc) {
+    g.cell_type = flash::CellType::kMlc;
+  }
+  return g;
+}
+
+Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
+  flash::Geometry g = GeoFor(s);
+  auto tb = std::make_unique<Testbed>(g, flash::TimingFor(g.cell_type));
+
+  storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+  ftl::RegionConfig rc;
+  rc.name = ScheduleName(s);
+  rc.logical_pages = 256;
+  rc.ipa_mode = s == Schedule::kPSlc     ? ftl::IpaMode::kPSlc
+                : s == Schedule::kOddMlc ? ftl::IpaMode::kOddMlc
+                                         : ftl::IpaMode::kSlc;
+  rc.delta_area_offset = g.page_size - scheme.AreaBytes();
+  rc.manage_ecc = s != Schedule::kSlcNoEcc;
+  IPA_ASSIGN_OR_RETURN(tb->region, tb->noftl.CreateRegion(rc));
+
+  engine::EngineConfig ec;
+  ec.page_size = g.page_size;
+  ec.buffer_pages = 12;  // tiny pool: constant steal under the workload
+  ec.log_capacity_bytes = 1 << 20;
+  ec.log_reclaim_threshold = 0.375;
+  if (s == Schedule::kSlcNonEager) {
+    ec.dirty_flush_threshold = 0.75;
+    ec.log_reclaim_threshold = 0.9;
+  }
+  tb->db = std::make_unique<engine::Database>(&tb->noftl, ec);
+  IPA_ASSIGN_OR_RETURN(tb->ts, tb->db->CreateTablespace("fuzz", tb->region, scheme));
+  IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
+  IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
+  return tb;
+}
+
+/// Replays one trace against a fresh testbed and the reference model.
+class Runner {
+ public:
+  explicit Runner(const FuzzConfig& cfg) : cfg_(cfg) {}
+
+  FuzzResult Run(const std::vector<Op>& trace) {
+    auto tb = MakeTestbed(cfg_.schedule);
+    if (!tb.ok()) {
+      return Fail(0, Status::Internal("testbed: " + tb.status().ToString()));
+    }
+    tb_ = std::move(tb.value());
+
+    for (size_t i = 0; i < trace.size(); i++) {
+      Status s = Execute(trace[i]);
+      if (s.IsUnavailable()) s = HandleCrash();
+      if (s.ok()) s = CheapCheck();
+      if (s.ok() && cfg_.deep_check_every > 0 &&
+          (i + 1) % cfg_.deep_check_every == 0) {
+        s = DeepCheck(model_.view());
+        if (s.IsUnavailable()) s = HandleCrash();
+      }
+      if (!s.ok()) return Fail(i, s, &trace[i]);
+    }
+
+    // Wrap up: commit the open transaction, then crash once more so every
+    // trace exercises recovery, then the final deep verification.
+    size_t end = trace.size();
+    if (txn_ != engine::kInvalidTxn) {
+      Op commit;
+      commit.kind = Op::Kind::kCommit;
+      Status s = Execute(commit);
+      if (s.IsUnavailable()) s = HandleCrash();
+      if (!s.ok()) return Fail(end, s);
+    }
+    if (cfg_.final_crash) {
+      model_.Crash();
+      txn_ = engine::kInvalidTxn;
+      tb_->db->SimulateCrash();
+      tb_->dev.PowerCycle();
+      Status s = RecoverLoop();
+      if (s.ok()) s = DeepCheck(model_.committed());
+      if (!s.ok()) return Fail(end, s);
+    }
+    Status s = DeepCheck(model_.view());
+    if (!s.ok()) return Fail(end, s);
+
+    const auto& rs = tb_->noftl.region_stats(tb_->region);
+    res_.torn_bytes = rs.torn_delta_bytes_dropped;
+    res_.quarantined = rs.torn_pages_quarantined;
+    res_.fingerprint = Fingerprint();
+    return res_;
+  }
+
+ private:
+  FuzzResult Fail(size_t op_index, const Status& s, const Op* op = nullptr) {
+    res_.ok = false;
+    res_.failed_op = op_index;
+    res_.error = s.ToString();
+    if (op != nullptr) {
+      res_.error += " [op " + std::to_string(op_index) + ": " + FormatOp(*op) + "]";
+    }
+    return res_;
+  }
+
+  void EnsureTxn() {
+    if (txn_ == engine::kInvalidTxn) txn_ = tb_->db->Begin();
+  }
+
+  Status ScanAll(ModelDb::Map* got) {
+    for (engine::TableId t : tb_->tables) {
+      IPA_RETURN_NOT_OK(tb_->db->Scan(
+          t, [&](engine::Rid rid, std::span<const uint8_t> bytes) {
+            (*got)[rid.Pack()] =
+                std::vector<uint8_t>(bytes.begin(), bytes.end());
+            return true;
+          }));
+    }
+    return Status::OK();
+  }
+
+  Status CheckEquivalence(const ModelDb::Map& want) {
+    ModelDb::Map got;
+    IPA_RETURN_NOT_OK(ScanAll(&got));
+    if (got == want) return Status::OK();
+    for (const auto& [k, v] : want) {
+      auto it = got.find(k);
+      if (it == got.end()) {
+        return Status::Corruption("equivalence: tuple " + std::to_string(k) +
+                                  " missing from the engine");
+      }
+      if (it->second != v) {
+        size_t d = 0;
+        while (d < v.size() && d < it->second.size() && it->second[d] == v[d]) d++;
+        return Status::Corruption(
+            "equivalence: tuple " + std::to_string(k) + " diverges at byte " +
+            std::to_string(d) + " (engine size " +
+            std::to_string(it->second.size()) + ", model size " +
+            std::to_string(v.size()) + ")");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (want.find(k) == want.end()) {
+        return Status::Corruption("equivalence: phantom tuple " +
+                                  std::to_string(k) + " in the engine");
+      }
+    }
+    return Status::Corruption("equivalence: scans diverge");
+  }
+
+  /// Cheap per-op oracles.
+  Status CheapCheck() {
+    if (!tb_->dev.powered_on()) {
+      return Status::Internal("device left powered off after op handling");
+    }
+    return CheckCounterConservation(tb_->dev.stats(),
+                                    tb_->noftl.region_stats(tb_->region),
+                                    tb_->db->buffer_pool().stats());
+  }
+
+  /// Full oracle battery against `want` (the model view or committed state).
+  Status DeepCheck(const ModelDb::Map& want) {
+    IPA_RETURN_NOT_OK(CheckEquivalence(want));
+    IPA_RETURN_NOT_OK(tb_->dev.AuditState());
+    IPA_RETURN_NOT_OK(tb_->noftl.AuditRegion(tb_->region));
+    IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
+    return shadow_.ObserveAndCheck(tb_->dev);
+  }
+
+  /// An op returned OutOfSpace after possibly mutating state (log reclaim
+  /// runs piggy-backed on DML): the engine may hold either the before- or
+  /// the after-image. Scan and adopt whichever matches; anything else is a
+  /// real divergence.
+  Status Reconcile(const std::function<void(ModelDb&)>& apply) {
+    ModelDb applied = model_;
+    apply(applied);
+    ModelDb::Map got;
+    IPA_RETURN_NOT_OK(ScanAll(&got));
+    if (got == model_.view()) return Status::OK();
+    if (got == applied.view()) {
+      model_ = std::move(applied);
+      return Status::OK();
+    }
+    return Status::Corruption(
+        "out-of-space op left state matching neither the applied nor the "
+        "unapplied outcome");
+  }
+
+  /// The crash protocol: discard staged state on both sides, then power-cycle
+  /// and recover (possibly several times — a re-armed policy cuts power again
+  /// *during* recovery), then verify the committed state deeply.
+  Status HandleCrash() {
+    model_.Crash();
+    txn_ = engine::kInvalidTxn;
+    res_.crashes++;
+    tb_->db->SimulateCrash();
+    tb_->dev.PowerCycle();
+    IPA_RETURN_NOT_OK(RecoverLoop());
+    return DeepCheck(model_.committed());
+  }
+
+  Status RecoverLoop() {
+    bool rearmed = false;
+    for (int attempt = 0; attempt < 8; attempt++) {
+      if (!rearmed && rearm_delta_ > 0) {
+        flash::PowerLossPolicy p;
+        p.inject_at_op = rearm_delta_ - 1;
+        p.seed = rearm_seed_;
+        tb_->dev.SetPowerLossPolicy(p);
+        rearmed = true;
+        rearm_delta_ = 0;
+      } else {
+        tb_->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+      }
+      Status s = tb_->db->RecoverAfterPowerLoss();
+      if (s.ok()) {
+        tb_->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+        return Status::OK();
+      }
+      if (!s.IsUnavailable()) return s;
+      res_.crashes++;  // double crash: power died during recovery
+      tb_->db->SimulateCrash();
+      tb_->dev.PowerCycle();
+    }
+    return Status::Internal("recovery did not converge after 8 power cycles");
+  }
+
+  Status Execute(const Op& op) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        EnsureTxn();
+        engine::TableId table = tb_->tables[op.a % 2];
+        std::vector<uint8_t> t = Payload(op.seed, 16 + op.b % 97);
+        auto r = tb_->db->Insert(txn_, table, t);
+        if (r.ok()) {
+          model_.Insert(r.value().Pack(), std::move(t));
+          return Status::OK();
+        }
+        if (r.status().IsOutOfSpace()) return ReconcileInsert(t);
+        return r.status();
+      }
+      case Op::Kind::kUpdate: {
+        if (model_.LiveCount() == 0) return Status::OK();
+        EnsureTxn();
+        uint64_t key = model_.KeyAt(op.a % model_.LiveCount());
+        const auto* tuple = model_.Lookup(key);
+        uint32_t len32 = static_cast<uint32_t>(tuple->size());
+        uint32_t offset = static_cast<uint32_t>(op.b % len32);
+        uint32_t maxlen = std::min<uint32_t>(8, len32 - offset);
+        uint32_t len = 1 + static_cast<uint32_t>(op.c % maxlen);
+        std::vector<uint8_t> bytes = Payload(op.seed, len);
+        Status s = tb_->db->Update(txn_, engine::Rid::Unpack(key), offset, bytes);
+        if (s.ok()) {
+          model_.Update(key, offset, bytes.data(), len);
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          return Reconcile([&](ModelDb& m) {
+            m.Update(key, offset, bytes.data(), len);
+          });
+        }
+        return s;
+      }
+      case Op::Kind::kUpdateResize: {
+        if (model_.LiveCount() == 0) return Status::OK();
+        EnsureTxn();
+        uint64_t key = model_.KeyAt(op.a % model_.LiveCount());
+        std::vector<uint8_t> t = Payload(op.seed, 16 + op.b % 97);
+        Status s = tb_->db->UpdateResize(txn_, engine::Rid::Unpack(key), t);
+        if (s.ok()) {
+          model_.Replace(key, std::move(t));
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          // A resize that no longer fits its page legitimately fails and
+          // leaves the tuple unchanged; reclaim-triggered failures may have
+          // applied it. Accept either.
+          return Reconcile([&](ModelDb& m) { m.Replace(key, t); });
+        }
+        return s;
+      }
+      case Op::Kind::kDelete: {
+        if (model_.LiveCount() == 0) return Status::OK();
+        EnsureTxn();
+        uint64_t key = model_.KeyAt(op.a % model_.LiveCount());
+        Status s = tb_->db->Delete(txn_, engine::Rid::Unpack(key));
+        if (s.ok()) {
+          model_.Erase(key);
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          return Reconcile([&](ModelDb& m) { m.Erase(key); });
+        }
+        return s;
+      }
+      case Op::Kind::kRead: {
+        if (model_.LiveCount() == 0) return Status::OK();
+        EnsureTxn();
+        uint64_t key = model_.KeyAt(op.a % model_.LiveCount());
+        auto r = tb_->db->Read(txn_, engine::Rid::Unpack(key));
+        if (!r.ok()) {
+          if (r.status().IsOutOfSpace()) return Status::OK();
+          return r.status();
+        }
+        const auto* want = model_.Lookup(key);
+        if (r.value() != *want) {
+          return Status::Corruption("read divergence at tuple " +
+                                    std::to_string(key));
+        }
+        return Status::OK();
+      }
+      case Op::Kind::kCommit: {
+        if (txn_ == engine::kInvalidTxn) return Status::OK();
+        Status s = tb_->db->Commit(txn_);
+        // The commit record is forced to the log before Commit issues any
+        // cleaner/reclaim flash I/O, so the transaction is durable whatever
+        // Commit returns afterwards.
+        model_.CommitTxn();
+        res_.commits++;
+        txn_ = engine::kInvalidTxn;
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kAbort: {
+        if (txn_ == engine::kInvalidTxn) return Status::OK();
+        Status s;
+        for (int i = 0; i < 4; i++) {
+          s = tb_->db->Abort(txn_);
+          if (!s.IsOutOfSpace()) break;  // CLR-protected: rollback restartable
+        }
+        if (s.ok()) {
+          model_.AbortTxn();
+          txn_ = engine::kInvalidTxn;
+        }
+        return s;
+      }
+      case Op::Kind::kScanCheck: {
+        Status s = CheckEquivalence(model_.view());
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kCheckpoint: {
+        Status s = tb_->db->Checkpoint();
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kScrub: {
+        Status s = tb_->noftl.ScrubRegion(tb_->region, op.a % 4 == 0);
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kWearLevel: {
+        uint32_t spread = 2 + static_cast<uint32_t>(op.a % 6);
+        Status s = tb_->noftl.WearLevelRegion(tb_->region, spread);
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kPowerCut: {
+        flash::PowerLossPolicy p;
+        p.inject_at_op = op.a % 24;
+        p.seed = op.seed;
+        tb_->dev.SetPowerLossPolicy(p);
+        rearm_delta_ = (op.b % 4 == 0) ? 1 + op.c % 6 : 0;
+        rearm_seed_ = op.seed ^ 0xD1B54A32D192ED03ull;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown op kind");
+  }
+
+  /// Insert returned OutOfSpace: the rid is unknown, so reconcile by scan
+  /// diff — the engine either holds exactly the model view, or the view plus
+  /// one new tuple with our payload.
+  Status ReconcileInsert(const std::vector<uint8_t>& t) {
+    ModelDb::Map got;
+    IPA_RETURN_NOT_OK(ScanAll(&got));
+    if (got == model_.view()) return Status::OK();
+    if (got.size() == model_.view().size() + 1) {
+      uint64_t extra = 0;
+      size_t extras = 0;
+      for (const auto& [k, v] : got) {
+        if (model_.view().find(k) == model_.view().end()) {
+          extra = k;
+          extras++;
+        }
+      }
+      if (extras == 1 && got[extra] == t &&
+          std::all_of(model_.view().begin(), model_.view().end(),
+                      [&](const auto& kv) {
+                        auto it = got.find(kv.first);
+                        return it != got.end() && it->second == kv.second;
+                      })) {
+        model_.Insert(extra, t);
+        return Status::OK();
+      }
+    }
+    return Status::Corruption(
+        "out-of-space insert left state matching neither outcome");
+  }
+
+  uint32_t Fingerprint() const {
+    uint32_t crc = 0;
+    auto add64 = [&](uint64_t v) {
+      uint8_t b[8];
+      std::memcpy(b, &v, 8);
+      crc = Crc32c(b, 8, crc);
+    };
+    for (const auto& [k, v] : model_.committed()) {
+      add64(k);
+      add64(v.size());
+      crc = Crc32c(v.data(), v.size(), crc);
+    }
+    const auto& ds = tb_->dev.stats();
+    const auto& rs = tb_->noftl.region_stats(tb_->region);
+    for (uint64_t v :
+         {res_.commits, res_.crashes, ds.page_programs, ds.delta_programs,
+          ds.block_erases, ds.page_refreshes, rs.host_page_writes,
+          rs.host_delta_writes, rs.gc_page_migrations,
+          rs.torn_pages_quarantined}) {
+      add64(v);
+    }
+    return crc;
+  }
+
+  FuzzConfig cfg_;
+  std::unique_ptr<Testbed> tb_;
+  ModelDb model_;
+  FlashShadow shadow_;
+  FuzzResult res_;
+  engine::TxnId txn_ = engine::kInvalidTxn;
+  uint64_t rearm_delta_ = 0;
+  uint64_t rearm_seed_ = 0;
+};
+
+}  // namespace
+
+const char* ScheduleName(Schedule s) {
+  return kScheduleNames[static_cast<int>(s)];
+}
+
+bool ParseSchedule(const std::string& name, Schedule* out) {
+  for (int i = 0; i < kNumSchedules; i++) {
+    if (name == kScheduleNames[i]) {
+      *out = static_cast<Schedule>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Op> GenerateOps(const FuzzConfig& cfg) {
+  struct Weighted {
+    Op::Kind kind;
+    uint32_t weight;
+  };
+  // Insert-heavy warmup populates the store before the main mix takes over.
+  static constexpr Weighted kWarmup[] = {
+      {Op::Kind::kInsert, 70}, {Op::Kind::kUpdate, 20}, {Op::Kind::kCommit, 10}};
+  std::vector<Weighted> main = {
+      {Op::Kind::kInsert, 14},     {Op::Kind::kUpdate, 34},
+      {Op::Kind::kUpdateResize, 6}, {Op::Kind::kDelete, 6},
+      {Op::Kind::kRead, 10},       {Op::Kind::kCommit, 12},
+      {Op::Kind::kAbort, 2},       {Op::Kind::kScanCheck, 4},
+      {Op::Kind::kCheckpoint, 3},  {Op::Kind::kScrub, 2},
+      {Op::Kind::kWearLevel, 2},   {Op::Kind::kPowerCut, 5}};
+  if (cfg.schedule == Schedule::kSlcNoEcc) {
+    // Without managed ECC the paper promises no crash consistency for torn
+    // appends (Section 6.2) — run this schedule cut-free.
+    for (auto& w : main) {
+      if (w.kind == Op::Kind::kPowerCut) w.weight = 0;
+      if (w.kind == Op::Kind::kUpdate) w.weight += 5;
+    }
+  }
+
+  Rng rng(cfg.seed ^
+          (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(cfg.schedule) + 1)));
+  uint64_t warmup = std::min<uint64_t>(cfg.ops / 8, 24);
+  std::vector<Op> ops;
+  ops.reserve(cfg.ops);
+  for (uint64_t i = 0; i < cfg.ops; i++) {
+    const Weighted* table = i < warmup ? kWarmup : main.data();
+    size_t entries = i < warmup ? std::size(kWarmup) : main.size();
+    uint32_t total = 0;
+    for (size_t k = 0; k < entries; k++) total += table[k].weight;
+    uint64_t draw = rng.Uniform(total);
+    Op op;
+    for (size_t k = 0; k < entries; k++) {
+      if (draw < table[k].weight) {
+        op.kind = table[k].kind;
+        break;
+      }
+      draw -= table[k].weight;
+    }
+    op.a = rng.Next();
+    op.b = rng.Next();
+    op.c = rng.Next();
+    op.seed = rng.Next();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+FuzzResult ReplayTrace(const FuzzConfig& config, const std::vector<Op>& trace) {
+  Runner runner(config);
+  return runner.Run(trace);
+}
+
+FuzzResult RunFuzz(const FuzzConfig& config) {
+  return ReplayTrace(config, GenerateOps(config));
+}
+
+std::string FormatOp(const Op& op) {
+  std::ostringstream os;
+  os << kKindNames[static_cast<int>(op.kind)] << std::hex << " a=" << op.a
+     << " b=" << op.b << " c=" << op.c << " seed=" << op.seed;
+  return os.str();
+}
+
+std::string ReproLine(const FuzzConfig& config) {
+  std::ostringstream os;
+  os << "ipa_fuzz --schedule " << ScheduleName(config.schedule) << " --seed "
+     << config.seed << " --ops " << config.ops << " --deep-check "
+     << config.deep_check_every;
+  return os.str();
+}
+
+}  // namespace ipa::check

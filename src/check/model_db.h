@@ -1,0 +1,73 @@
+// Pure in-memory reference model of the engine's tuple store.
+//
+// ModelDb mirrors every Database mutation at the level the paper's storage
+// contract is stated: a map from record id to tuple bytes. It knows nothing
+// about pages, deltas or flash — which is the point: the differential checker
+// (src/check/fuzzer.h) replays every operation against both the real engine
+// and this model and fails on the first divergence.
+//
+// Transaction semantics mirror the engine's single-open-transaction harness:
+// mutations land in the working view immediately (the engine's Scan is
+// non-transactional and sees staged changes the same way), Commit promotes
+// the view to the committed state, Abort and Crash roll the view back to it.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ipa::check {
+
+class ModelDb {
+ public:
+  /// Tuple store keyed by Rid::Pack() (unique across tables of one engine).
+  using Map = std::map<uint64_t, std::vector<uint8_t>>;
+
+  // -- Mutations (call only after the engine op succeeded) -------------------
+
+  void Insert(uint64_t key, std::vector<uint8_t> tuple) {
+    view_[key] = std::move(tuple);
+  }
+  void Update(uint64_t key, uint32_t offset, const uint8_t* bytes,
+              uint32_t len) {
+    auto& t = view_[key];
+    for (uint32_t i = 0; i < len; i++) t[offset + i] = bytes[i];
+  }
+  void Replace(uint64_t key, std::vector<uint8_t> tuple) {
+    view_[key] = std::move(tuple);
+  }
+  void Erase(uint64_t key) { view_.erase(key); }
+
+  // -- Transaction boundaries ------------------------------------------------
+
+  void CommitTxn() { committed_ = view_; }
+  void AbortTxn() { view_ = committed_; }
+  /// Power loss: every staged (uncommitted) change is gone.
+  void Crash() { view_ = committed_; }
+
+  // -- Queries ---------------------------------------------------------------
+
+  size_t LiveCount() const { return view_.size(); }
+  /// idx-th live key in ascending key order; idx < LiveCount().
+  uint64_t KeyAt(size_t idx) const {
+    auto it = view_.begin();
+    std::advance(it, static_cast<ptrdiff_t>(idx));
+    return it->first;
+  }
+  const std::vector<uint8_t>* Lookup(uint64_t key) const {
+    auto it = view_.find(key);
+    return it == view_.end() ? nullptr : &it->second;
+  }
+
+  /// What a non-transactional engine scan must return right now.
+  const Map& view() const { return view_; }
+  /// What the engine must serve after crash recovery.
+  const Map& committed() const { return committed_; }
+
+ private:
+  Map view_;
+  Map committed_;
+};
+
+}  // namespace ipa::check

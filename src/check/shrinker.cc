@@ -1,0 +1,79 @@
+#include "check/shrinker.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ipa::check {
+
+namespace {
+
+/// Replay `trace` and, on failure, truncate it just past the failing op —
+/// everything after the first divergence is noise.
+bool FailsAndTruncate(const FuzzConfig& cfg, std::vector<Op>& trace,
+                      FuzzResult* failure, uint64_t* replays) {
+  (*replays)++;
+  FuzzResult r = ReplayTrace(cfg, trace);
+  if (r.ok) return false;
+  *failure = r;
+  if (r.failed_op + 1 < trace.size()) {
+    trace.resize(r.failed_op + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkTrace(const FuzzConfig& config, const std::vector<Op>& trace,
+                         uint64_t max_replays) {
+  ShrinkResult out;
+  out.trace = trace;
+  if (!FailsAndTruncate(config, out.trace, &out.failure, &out.replays)) {
+    // The input does not fail — nothing to shrink.
+    out.trace.clear();
+    return out;
+  }
+
+  // ddmin: try removing chunks of size n/2, n/4, ..., 1; restart from large
+  // chunks whenever a removal succeeds (the trace changed shape).
+  bool progress = true;
+  while (progress && out.replays < max_replays) {
+    progress = false;
+    for (size_t chunk = std::max<size_t>(out.trace.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      size_t start = 0;
+      while (start < out.trace.size() && out.replays < max_replays) {
+        size_t len = std::min(chunk, out.trace.size() - start);
+        std::vector<Op> candidate;
+        candidate.reserve(out.trace.size() - len);
+        candidate.insert(candidate.end(), out.trace.begin(),
+                         out.trace.begin() + static_cast<ptrdiff_t>(start));
+        candidate.insert(
+            candidate.end(),
+            out.trace.begin() + static_cast<ptrdiff_t>(start + len),
+            out.trace.end());
+        FuzzResult failure;
+        if (!candidate.empty() &&
+            FailsAndTruncate(config, candidate, &failure, &out.replays)) {
+          out.trace = std::move(candidate);
+          out.failure = failure;
+          progress = true;
+          // keep the same start: the next chunk slid into place
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return out;
+}
+
+std::string FormatTrace(const std::vector<Op>& trace) {
+  std::string out;
+  for (size_t i = 0; i < trace.size(); i++) {
+    out += std::to_string(i) + ": " + FormatOp(trace[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ipa::check

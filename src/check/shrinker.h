@@ -1,0 +1,38 @@
+// Greedy delta-debugging trace shrinker.
+//
+// Given a failing trace, produce a (locally) minimal subsequence that still
+// fails. Because ops carry raw operands interpreted against the current model
+// state (check/fuzzer.h), any subsequence of a valid trace is itself a valid
+// trace — removal never creates dangling references, it only changes which
+// live keys the surviving ops resolve to. The shrinker therefore hunts for
+// any failure, not necessarily the original one; what it returns is the
+// smallest misbehaving trace it could isolate, which is what a human wants
+// to debug first.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+
+namespace ipa::check {
+
+struct ShrinkResult {
+  std::vector<Op> trace;  ///< The minimized failing trace.
+  FuzzResult failure;     ///< Result of replaying the minimized trace.
+  uint64_t replays = 0;   ///< Replay budget consumed.
+};
+
+/// ddmin-style shrink: truncate past the failing op, then repeatedly try
+/// dropping chunks (halving down to single ops) while the trace still fails.
+/// `config` supplies the schedule and check cadence. Replays are capped at
+/// `max_replays`; the best trace found so far is returned either way.
+ShrinkResult ShrinkTrace(const FuzzConfig& config, const std::vector<Op>& trace,
+                         uint64_t max_replays = 2000);
+
+/// Multi-line dump of a trace (one FormatOp line per op), for repro files.
+std::string FormatTrace(const std::vector<Op>& trace);
+
+}  // namespace ipa::check

@@ -1,0 +1,73 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace ipa::fault {
+
+namespace {
+
+std::atomic<bool> g_points[static_cast<size_t>(Point::kNumPoints)] = {};
+
+const char* PointName(Point p) {
+  switch (p) {
+    case Point::kSkipDeltaRecordValidation:
+      return "skip_delta_record_validation";
+    case Point::kSkipTornByteScrub:
+      return "skip_torn_byte_scrub";
+    case Point::kNumPoints:
+      break;
+  }
+  return nullptr;
+}
+
+/// Parse IPA_FAULTS exactly once, before the first Enabled()/TestOnlySet()
+/// observation, so an explicit TestOnlySet is never overwritten by the
+/// (lazily parsed) environment.
+void LoadEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("IPA_FAULTS");
+    if (spec != nullptr && *spec != '\0') ParseSpec(spec);
+  });
+}
+
+}  // namespace
+
+bool Enabled(Point p) {
+  LoadEnvOnce();
+  return g_points[static_cast<size_t>(p)].load(std::memory_order_relaxed);
+}
+
+void TestOnlySet(Point p, bool enabled) {
+  LoadEnvOnce();
+  g_points[static_cast<size_t>(p)].store(enabled, std::memory_order_relaxed);
+}
+
+bool ParseSpec(const std::string& spec, std::string* error) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    bool known = false;
+    for (uint32_t i = 0; i < static_cast<uint32_t>(Point::kNumPoints); i++) {
+      Point p = static_cast<Point>(i);
+      if (name == PointName(p)) {
+        g_points[i].store(true, std::memory_order_relaxed);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error) *error = "unknown fault point '" + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ipa::fault

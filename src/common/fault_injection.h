@@ -1,0 +1,55 @@
+// Deliberate fault injection for the differential checker (docs/TESTING.md).
+//
+// Each Point gates one on-media safety check. All faults are off by default;
+// they can be enabled per-process through the IPA_FAULTS environment variable
+// (a comma-separated list of point names) or from test code via TestOnlySet.
+// The checker in src/check/ uses these to prove it catches real bugs: with a
+// fault armed, a seeded fuzz run must fail and the shrinker must reduce the
+// trace to a handful of ops (tests/differential_test.cc).
+//
+// Fault points must never change behavior on clean (non-torn) state, so an
+// armed fault is invisible until a power loss actually tears a write.
+
+#pragma once
+
+#include <string>
+
+namespace ipa::fault {
+
+enum class Point : uint32_t {
+  /// storage/delta_record.cc ValidRecord: accept any record whose ctrl byte
+  /// is not erased, skipping the pair-offset well-formedness check that
+  /// rejects torn (partially programmed) delta records.
+  /// IPA_FAULTS name: skip_delta_record_validation
+  kSkipDeltaRecordValidation = 0,
+  /// ftl/noftl.cc ScrubUncoveredDeltaBytes: serve delta-area bytes not
+  /// covered by any OOB ECC slot instead of scrubbing them to 0xFF, so torn
+  /// append remnants reach the engine (and MountScan never quarantines them).
+  /// IPA_FAULTS name: skip_torn_byte_scrub
+  kSkipTornByteScrub = 1,
+  kNumPoints
+};
+
+/// True when the fault at `p` is enabled (IPA_FAULTS or TestOnlySet).
+bool Enabled(Point p);
+
+/// Force a fault on/off from test code. Overrides the environment.
+void TestOnlySet(Point p, bool enabled);
+
+/// Enable every point named in `spec` ("skip_torn_byte_scrub,..."). Returns
+/// false (and sets `error` if non-null) on an unknown name.
+bool ParseSpec(const std::string& spec, std::string* error = nullptr);
+
+/// RAII guard for tests: enables `p` now, restores "off" on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(Point p) : p_(p) { TestOnlySet(p_, true); }
+  ~ScopedFault() { TestOnlySet(p_, false); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  Point p_;
+};
+
+}  // namespace ipa::fault

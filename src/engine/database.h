@@ -148,6 +148,10 @@ class Database {
     return tables_[t].pages.size();
   }
   const std::string& table_name(TableId t) const { return tables_[t].name; }
+  size_t table_count() const { return tables_.size(); }
+  size_t tablespace_count() const { return tablespaces_.size(); }
+  TablespaceId tablespace_of(TableId t) const { return tables_[t].ts; }
+  bool table_dropped(TableId t) const { return tables_[t].dropped; }
   uint64_t checkpoints_taken() const { return checkpoints_; }
 
   /// Number of active (open) transactions.

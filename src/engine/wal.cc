@@ -42,10 +42,15 @@ Lsn Wal::Append(const LogRecord& rec) {
   EncodeU64(p, rec.aux64); p += 8;
   EncodeU16(p, static_cast<uint16_t>(rec.before.size())); p += 2;
   EncodeU16(p, static_cast<uint16_t>(rec.after.size())); p += 2;
-  std::memcpy(p, rec.before.data(), rec.before.size());
-  p += rec.before.size();
-  std::memcpy(p, rec.after.data(), rec.after.size());
-  p += rec.after.size();
+  // Empty payloads have a null data(); memcpy forbids that even for n=0.
+  if (!rec.before.empty()) {
+    std::memcpy(p, rec.before.data(), rec.before.size());
+    p += rec.before.size();
+  }
+  if (!rec.after.empty()) {
+    std::memcpy(p, rec.after.data(), rec.after.size());
+    p += rec.after.size();
+  }
   uint32_t crc = Crc32c(out.data(), total - 4);
   EncodeU32(p, crc);
 

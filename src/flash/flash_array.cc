@@ -420,6 +420,42 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
   return Status::OK();
 }
 
+Status FlashArray::AuditState() const {
+  auto fail = [](Pbn pbn, uint32_t page, const char* what) {
+    return Status::Corruption("flash audit: block " + std::to_string(pbn) +
+                              " page " + std::to_string(page) + ": " + what);
+  };
+  for (Pbn pbn = 0; pbn < blocks_.size(); pbn++) {
+    const BlockState& blk = blocks_[pbn];
+    if (!blk.pages.empty() && blk.pages.size() != geo_.pages_per_block) {
+      return fail(pbn, 0, "page vector does not match the geometry");
+    }
+    if (blk.highest_programmed >= static_cast<int32_t>(geo_.pages_per_block)) {
+      return fail(pbn, 0, "in-order frontier beyond the block");
+    }
+    for (uint32_t p = 0; p < blk.pages.size(); p++) {
+      const PageState& ps = blk.pages[p];
+      if (ps.IsErased() != ps.data.empty()) {
+        return fail(pbn, p, "program count disagrees with stored data");
+      }
+      if (!ps.data.empty() && ps.data.size() != geo_.page_size) {
+        return fail(pbn, p, "stored data is not page-sized");
+      }
+      if (!ps.oob.empty() && ps.oob.size() != geo_.oob_size) {
+        return fail(pbn, p, "stored OOB is not oob-sized");
+      }
+      if (ps.program_count > geo_.max_programs_per_page) {
+        return fail(pbn, p, "program budget exceeded");
+      }
+      if (!ps.IsErased() &&
+          static_cast<int32_t>(p) > blk.highest_programmed) {
+        return fail(pbn, p, "programmed page above the in-order frontier");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
   if (!powered_on_) return Status::Unavailable("flash device is powered off");
   bool lose_power = DrawPowerLoss();

@@ -169,6 +169,15 @@ class FlashArray {
   uint64_t mutation_ops() const { return mutation_ops_; }
 
   // -- Introspection ----------------------------------------------------------
+
+  /// Structural audit of the device state (differential-checker oracle):
+  /// per-page storage invariants that must hold across every program, erase
+  /// and torn power-loss path — data allocated iff the page was programmed,
+  /// buffer sizes match the geometry, program budgets respected, and no
+  /// programmed page sits above its block's in-order frontier. Returns
+  /// Corruption describing the first violation.
+  Status AuditState() const;
+
   const PageState& page_state(Ppn ppn) const;
   uint32_t EraseCount(Pbn pbn) const;
   uint64_t TotalEraseOps() const { return stats_.block_erases; }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "flash/ecc.h"
 
@@ -392,6 +393,20 @@ Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
 
   BlockInfo& cb = reg.blocks[cold];
   BlockInfo& wb = reg.blocks[worn_free];
+  // Claim the worn block *before* programming into it, and transfer the
+  // valid counters page by page. A power loss can interrupt the swap after
+  // any program; bulk bookkeeping at the end used to leave programmed pages
+  // inside a block still on the free list (so the allocator would hand it
+  // out and fail) and a stale valid counter on the cold block — the
+  // differential checker's region audit flags both.
+  for (size_t i = 0; i < reg.free_blocks.size(); i++) {
+    if (reg.free_blocks[i] == static_cast<uint32_t>(worn_free)) {
+      reg.free_blocks.erase(reg.free_blocks.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  wb.is_free = false;
+  wb.next_page = cb.next_page;
   // Move the cold block's valid pages to the same in-block positions of the
   // worn block (ascending order satisfies MLC in-order programming).
   std::vector<uint8_t> buf(g.page_size);
@@ -413,20 +428,12 @@ Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
     size_t widx = static_cast<size_t>(worn_free) * g.pages_per_block + page;
     reg.rmap[widx] = lba;
     reg.rmap[cidx] = kInvalidLba;
+    wb.valid++;
+    cb.valid--;
     reg.map[lba] = dst;
     reg.stats.wear_level_migrations++;
     Fm().wear_level_migrations.Inc();
     Fm().map_updates.Inc();
-  }
-  wb.is_free = false;
-  wb.valid = cb.valid;
-  wb.next_page = cb.next_page;
-  // Remove the worn block from the free list; the cold block replaces it.
-  for (size_t i = 0; i < reg.free_blocks.size(); i++) {
-    if (reg.free_blocks[i] == static_cast<uint32_t>(worn_free)) {
-      reg.free_blocks.erase(reg.free_blocks.begin() + static_cast<ptrdiff_t>(i));
-      break;
-    }
   }
   IPA_RETURN_NOT_OK(device_->EraseBlock(cb.pbn, nullptr, false));
   cb.is_free = true;
@@ -435,6 +442,154 @@ Status NoFtl::WearLevelRegion(RegionId r, uint32_t max_spread) {
   reg.free_blocks.push_back(static_cast<uint32_t>(cold));
   reg.stats.wear_level_swaps++;
   Fm().wear_level_swaps.Inc();
+  return Status::OK();
+}
+
+Status NoFtl::AuditRegion(RegionId r) const {
+  const Region& reg = regions_[r];
+  const auto& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  const uint32_t usable = UsablePagesPerBlock(reg);
+  auto fail = [&](const std::string& what) {
+    return Status::Corruption("region '" + reg.config.name + "' audit: " + what);
+  };
+
+  // Forward map: every mapped lba must land on programmed media, inside a
+  // non-free block of this region, on a usable page index below the block's
+  // write frontier, with a matching reverse-map entry.
+  for (Lba lba = 0; lba < reg.map.size(); lba++) {
+    flash::Ppn ppn = reg.map[lba];
+    if (ppn == flash::kInvalidPpn) continue;
+    std::string at = "lba " + std::to_string(lba);
+    uint32_t bidx = BlockIndexOf(reg, ppn);
+    if (bidx == UINT32_MAX) return fail(at + " maps outside the region");
+    const BlockInfo& blk = reg.blocks[bidx];
+    if (blk.is_free) return fail(at + " maps into a free block");
+    uint32_t page = static_cast<uint32_t>(ppn % ppb);
+    bool usable_page = false;
+    for (uint32_t i = 0; i < blk.next_page && i < usable; i++) {
+      if (UsablePage(reg, i) == page) {
+        usable_page = true;
+        break;
+      }
+    }
+    if (!usable_page) {
+      return fail(at + " maps beyond the write frontier or to an unusable page");
+    }
+    if (reg.rmap[static_cast<size_t>(bidx) * ppb + page] != lba) {
+      return fail(at + " has no matching reverse-map entry");
+    }
+    if (device_->page_state(ppn).IsErased()) {
+      return fail(at + " maps to erased media");
+    }
+  }
+
+  // Reverse map and per-block counters.
+  for (uint32_t b = 0; b < reg.blocks.size(); b++) {
+    const BlockInfo& blk = reg.blocks[b];
+    std::string at = "block " + std::to_string(b);
+    if (blk.next_page > usable) return fail(at + " frontier beyond usable pages");
+    uint32_t rmap_valid = 0;
+    for (uint32_t p = 0; p < ppb; p++) {
+      Lba lba = reg.rmap[static_cast<size_t>(b) * ppb + p];
+      if (lba == kInvalidLba) continue;
+      rmap_valid++;
+      if (lba >= reg.map.size() ||
+          reg.map[lba] != blk.pbn * ppb + p) {
+        return fail(at + " reverse-map entry is not mirrored in the map");
+      }
+    }
+    if (rmap_valid != blk.valid) {
+      return fail(at + " valid counter " + std::to_string(blk.valid) +
+                  " != reverse-map population " + std::to_string(rmap_valid));
+    }
+    if (blk.is_free) {
+      if (blk.valid != 0) return fail(at + " is free but holds valid pages");
+      if (blk.next_page != 0) return fail(at + " is free with a nonzero frontier");
+      if (blk.is_active) return fail(at + " is free and active");
+      for (uint32_t p = 0; p < ppb; p++) {
+        if (!device_->page_state(blk.pbn * ppb + p).IsErased()) {
+          return fail(at + " is free but page " + std::to_string(p) +
+                      " is programmed");
+        }
+      }
+    }
+  }
+
+  // Free list <-> free flag, exactly.
+  std::vector<bool> listed(reg.blocks.size(), false);
+  for (uint32_t idx : reg.free_blocks) {
+    if (idx >= reg.blocks.size()) return fail("free list entry out of range");
+    if (listed[idx]) return fail("block listed twice in the free list");
+    listed[idx] = true;
+    if (!reg.blocks[idx].is_free) {
+      return fail("free list references non-free block " + std::to_string(idx));
+    }
+  }
+  for (uint32_t b = 0; b < reg.blocks.size(); b++) {
+    if (reg.blocks[b].is_free && !listed[b]) {
+      return fail("free block " + std::to_string(b) +
+                  " is missing from the free list");
+    }
+  }
+
+  // Active blocks <-> active_by_chip.
+  std::vector<bool> active_listed(reg.blocks.size(), false);
+  for (int32_t a : reg.active_by_chip) {
+    if (a < 0) continue;
+    if (static_cast<size_t>(a) >= reg.blocks.size()) {
+      return fail("active_by_chip entry out of range");
+    }
+    active_listed[a] = true;
+    if (!reg.blocks[a].is_active) {
+      return fail("active_by_chip references non-active block " +
+                  std::to_string(a));
+    }
+  }
+  for (uint32_t b = 0; b < reg.blocks.size(); b++) {
+    if (reg.blocks[b].is_active && !active_listed[b]) {
+      return fail("active block " + std::to_string(b) +
+                  " is not registered in active_by_chip");
+    }
+  }
+
+  // OOB slot coverage (managed ECC): every legitimate delta-area byte was
+  // appended under an OOB slot; uncovered non-erased bytes are torn remnants
+  // that MountScan / the read path must have scrubbed away.
+  uint32_t delta_off = reg.config.delta_area_offset;
+  if (reg.config.manage_ecc && reg.config.ipa_mode != IpaMode::kOff &&
+      delta_off > 0 && delta_off < g.page_size) {
+    uint32_t initial_bytes = static_cast<uint32_t>(flash::EccRegionBytes(delta_off));
+    for (Lba lba = 0; lba < reg.map.size(); lba++) {
+      flash::Ppn ppn = reg.map[lba];
+      if (ppn == flash::kInvalidPpn) continue;
+      const flash::PageState& ps = device_->page_state(ppn);
+      if (ps.data.empty()) continue;  // flagged by the forward-map pass
+      std::vector<bool> covered(g.page_size - delta_off, false);
+      if (!ps.oob.empty()) {
+        for (uint32_t base = initial_bytes; base + kSlotBytes <= g.oob_size;
+             base += kSlotBytes) {
+          uint16_t offset = DecodeU16(&ps.oob[base]);
+          uint16_t len = DecodeU16(&ps.oob[base + 2]);
+          if (offset == 0xFFFF && len == 0xFFFF) break;
+          if (offset + len > g.page_size || len == 0) {
+            return fail("lba " + std::to_string(lba) + " has a damaged OOB slot");
+          }
+          for (uint32_t i = std::max(static_cast<uint32_t>(offset), delta_off);
+               i < static_cast<uint32_t>(offset) + len; i++) {
+            covered[i - delta_off] = true;
+          }
+        }
+      }
+      for (uint32_t i = delta_off; i < g.page_size; i++) {
+        if (ps.data[i] != 0xFF && !covered[i - delta_off]) {
+          return fail("lba " + std::to_string(lba) +
+                      " serves an uncovered delta byte at offset " +
+                      std::to_string(i) + " (torn append not scrubbed)");
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -512,6 +667,10 @@ uint32_t NoFtl::ScrubUncoveredDeltaBytes(Region& reg, flash::Ppn ppn,
   if (!reg.config.manage_ecc || reg.config.ipa_mode == IpaMode::kOff) return 0;
   uint32_t delta_off = reg.config.delta_area_offset;
   if (delta_off == 0 || delta_off >= g.page_size) return 0;
+  // Deliberate-bug gate for the differential checker: with the fault armed,
+  // torn delta bytes are served to the host and survive MountScan
+  // (tests/differential_test.cc proves the checker catches this).
+  if (fault::Enabled(fault::Point::kSkipTornByteScrub)) return 0;
   std::vector<uint8_t> oob(g.oob_size);
   if (!device_->ReadOob(ppn, oob.data(), g.oob_size).ok()) return 0;
 

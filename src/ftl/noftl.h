@@ -194,6 +194,18 @@ class NoFtl {
   /// Erase-count spread (max - min) across the region's blocks.
   uint32_t EraseSpread(RegionId r) const;
 
+  /// Structural audit of a region (differential-checker oracle): the lba->ppn
+  /// map and the reverse map must be mutually consistent, per-block valid
+  /// counters must equal the reverse-map population, mapped pages must sit on
+  /// programmed media inside their block's write frontier (on usable page
+  /// indices for the region's IPA mode), the free list must exactly mirror
+  /// the free flag, and — for regions with managed ECC — every non-erased
+  /// delta-area byte of every mapped page must be covered by an OOB ECC slot.
+  /// Returns Corruption describing the first violation. These invariants hold
+  /// after every host command, maintenance call and completed recovery,
+  /// including ones interrupted by a power loss.
+  Status AuditRegion(RegionId r) const;
+
   /// True if the logical page has ever been written.
   bool IsMapped(RegionId r, Lba lba) const;
 

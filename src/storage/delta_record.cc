@@ -1,8 +1,10 @@
 #include "storage/delta_record.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/bytes.h"
+#include "common/fault_injection.h"
 #include "storage/slotted_page.h"
 
 namespace ipa::storage {
@@ -30,24 +32,68 @@ void PutPair(uint8_t* dst, ByteChange c) {
   EncodeU16(dst + 1, c.offset);
 }
 
-/// True iff the record at `rec` is a completely-programmed delta record: the
-/// ctrl byte matches kCtrlPresent exactly and every pair offset is either
-/// erased (0xFFFF) or inside the page body. A power loss mid-append can only
-/// clear bits (ISPP), so a torn ctrl byte is a strict superset of
-/// kCtrlPresent's zero bits — never equal unless the ctrl byte finished — and
-/// a torn pair can leave an offset pointing into the delta area. Either way
-/// the record (and everything after it) must read as never written.
+/// True iff the record at `rec` is a completely-programmed delta record. A
+/// power loss mid-append can only clear bits (ISPP), so a torn ctrl byte is a
+/// strict superset of kCtrlPresent's zero bits — never equal unless the ctrl
+/// byte finished — and a torn pair can leave an offset pointing into the
+/// delta area. Either way the record (and everything after it) must read as
+/// never written. The kSkipDeltaRecordValidation fault point degrades this to
+/// "ctrl byte not erased", letting torn records through — the deliberate bug
+/// the differential checker must catch (tests/differential_test.cc).
 bool ValidRecord(const uint8_t* rec, const AreaView& v) {
+  if (fault::Enabled(fault::Point::kSkipDeltaRecordValidation)) {
+    return rec[0] != 0xFF;
+  }
+  return RecordWellFormed(rec, v.delta_off, v.scheme);
+}
+
+}  // namespace
+
+bool RecordWellFormed(const uint8_t* rec, uint32_t delta_off, Scheme scheme) {
   if (rec[0] != kCtrlPresent) return false;
-  uint32_t pairs = static_cast<uint32_t>(v.scheme.m) + v.scheme.v;
+  uint32_t pairs = static_cast<uint32_t>(scheme.m) + scheme.v;
   for (uint32_t p = 0; p < pairs; p++) {
-    uint16_t offset = DecodeU16(rec + 1 + 3 * p + 1);
-    if (offset != 0xFFFF && offset >= v.delta_off) return false;
+    const uint8_t* pair = rec + 1 + 3 * p;
+    uint16_t offset = DecodeU16(pair + 1);
+    if (offset == 0xFFFF) {
+      // Unused pair: EncodeDeltaRecords leaves all three bytes erased. A
+      // programmed value under an erased offset is a torn append.
+      if (pair[0] != 0xFF) return false;
+      continue;
+    }
+    if (offset >= delta_off) return false;
   }
   return true;
 }
 
-}  // namespace
+Status AuditDeltaArea(const uint8_t* page, uint32_t page_size) {
+  AreaView v = ViewOf(page, page_size);
+  uint32_t present = 0;
+  if (v.scheme.enabled()) {
+    for (; present < v.scheme.n; present++) {
+      uint32_t base = v.delta_off + present * v.record_bytes;
+      if (base + v.record_bytes > page_size) break;
+      if (page[base] == 0xFF) break;
+      if (!RecordWellFormed(page + base, v.delta_off, v.scheme)) {
+        return Status::Corruption("delta slot " + std::to_string(present) +
+                                  " is torn or malformed");
+      }
+    }
+  }
+  // Everything past the present prefix — trailing slots and slack — must
+  // still be erased; stray programmed bytes there are torn remnants.
+  uint32_t tail = v.scheme.enabled()
+                      ? v.delta_off + present * v.record_bytes
+                      : v.delta_off;
+  for (uint32_t i = tail; i < page_size; i++) {
+    if (page[i] != 0xFF) {
+      return Status::Corruption(
+          "non-erased byte at page offset " + std::to_string(i) +
+          " past delta record " + std::to_string(present));
+    }
+  }
+  return Status::OK();
+}
 
 uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
   AreaView v = ViewOf(page, page_size);

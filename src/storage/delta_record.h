@@ -50,6 +50,21 @@ struct AppendPlan {
   uint32_t records = 0;       ///< Number of new records (k).
 };
 
+/// Strict structural check of one delta record: the ctrl byte must equal
+/// kCtrlPresent and every (value, offset) pair must be either fully erased
+/// (all three bytes 0xFF) or carry an offset inside the page body
+/// (< delta_off). This is what EncodeDeltaRecords produces; anything else is
+/// a torn append. Unlike the acceptance check on the read path, this
+/// predicate ignores fault-injection overrides — the differential checker's
+/// AuditDeltaArea oracle is built on it.
+bool RecordWellFormed(const uint8_t* rec, uint32_t delta_off, Scheme scheme);
+
+/// Audit the delta area of a raw page image (checker oracle): present
+/// records must form a contiguous prefix of well-formed [NxM] slots, and
+/// every byte after the last present record must still read as erased
+/// (0xFF). Returns Corruption describing the first violation.
+Status AuditDeltaArea(const uint8_t* page, uint32_t page_size);
+
 /// Number of delta-records currently present on the page (scans ctrl bytes;
 /// records are contiguous from the start of the delta area). This is the
 /// paper's N_E.

@@ -185,6 +185,93 @@ TEST(AdvisorTest, EmptyProfileDisablesIpa) {
   EXPECT_FALSE(a.scheme.enabled());
 }
 
+TEST(AdvisorTest, CellTypeBoundsNAtSlcMlcBoundary) {
+  // Section 8.4 (i): SLC tolerates 4 reprograms per page, MLC only 3. The
+  // longevity goal saturates the bound, so the recommendation flips with the
+  // cell type alone.
+  Advice slc = Recommend(TpccLikeProfile(), flash::CellType::kSlc, 4096,
+                         AdvisorGoal::kLongevity);
+  Advice mlc = Recommend(TpccLikeProfile(), flash::CellType::kMlc, 4096,
+                         AdvisorGoal::kLongevity);
+  EXPECT_EQ(slc.scheme.n, 4);
+  EXPECT_EQ(mlc.scheme.n, 3);
+}
+
+TEST(AdvisorTest, MFlipsAtThePercentileBoundary) {
+  // 750 of 1000 samples are 3B: CDF(3) is exactly 0.75, so the performance
+  // goal (p75) picks M=3. One extra large sample pushes CDF(3) below 0.75
+  // and the recommendation flips to the next observed size.
+  ObjectProfile p;
+  p.name = "edge";
+  for (int i = 0; i < 750; i++) p.net_update_sizes.Add(3);
+  for (int i = 0; i < 250; i++) p.net_update_sizes.Add(12);
+  for (int i = 0; i < 100; i++) p.meta_update_sizes.Add(6);
+  Advice at = Recommend(p, flash::CellType::kSlc, 4096, AdvisorGoal::kPerformance);
+  EXPECT_EQ(at.scheme.m, 3);
+
+  p.net_update_sizes.Add(12);  // 750/1001 < 0.75
+  Advice past = Recommend(p, flash::CellType::kSlc, 4096, AdvisorGoal::kPerformance);
+  EXPECT_EQ(past.scheme.m, 12);
+}
+
+TEST(AdvisorTest, VClampsAtBothEnds) {
+  // V is the p95 of metadata footprints clamped to [4, 30]; tiny and huge
+  // metadata profiles pin it to the respective end.
+  ObjectProfile tiny;
+  tiny.name = "tiny-meta";
+  for (int i = 0; i < 100; i++) tiny.net_update_sizes.Add(3);
+  for (int i = 0; i < 100; i++) tiny.meta_update_sizes.Add(2);
+  EXPECT_EQ(Recommend(tiny, flash::CellType::kSlc, 4096,
+                      AdvisorGoal::kPerformance)
+                .scheme.v,
+            4);
+
+  ObjectProfile huge;
+  huge.name = "huge-meta";
+  for (int i = 0; i < 100; i++) huge.net_update_sizes.Add(3);
+  for (int i = 0; i < 100; i++) huge.meta_update_sizes.Add(100);
+  EXPECT_EQ(Recommend(huge, flash::CellType::kSlc, 4096,
+                      AdvisorGoal::kPerformance)
+                .scheme.v,
+            30);
+
+  // No metadata samples at all: the paper's Shore-MT observation (V<=12).
+  ObjectProfile none;
+  none.name = "no-meta";
+  for (int i = 0; i < 100; i++) none.net_update_sizes.Add(3);
+  EXPECT_EQ(Recommend(none, flash::CellType::kSlc, 4096,
+                      AdvisorGoal::kPerformance)
+                .scheme.v,
+            12);
+}
+
+TEST(AdvisorTest, SpaceCapStepsNThenHalvesM) {
+  // On a 2KB page a [4x125] V=30 wish blows the 15% cap: the advisor first
+  // steps N down to 1 (466B record still 22.8% of the page), then halves M
+  // to 62 (277B, 13.5%) — the documented two-stage fallback.
+  ObjectProfile p;
+  p.name = "big-updates";
+  for (int i = 0; i < 1000; i++) p.net_update_sizes.Add(130);
+  for (int i = 0; i < 1000; i++) p.meta_update_sizes.Add(100);
+  Advice a = Recommend(p, flash::CellType::kSlc, 2048, AdvisorGoal::kLongevity);
+  EXPECT_EQ(a.scheme.n, 1);
+  EXPECT_EQ(a.scheme.m, 62);
+  EXPECT_EQ(a.scheme.v, 30);
+  EXPECT_LE(a.space_overhead, 0.15 + 1e-9);
+}
+
+TEST(AdvisorTest, MClampsAtSection61Limit) {
+  // Section 6.1: realistically M <= 125. A huge-update profile with plenty
+  // of page space still caps there.
+  ObjectProfile p;
+  p.name = "huge-updates";
+  for (int i = 0; i < 1000; i++) p.net_update_sizes.Add(5000);
+  for (int i = 0; i < 1000; i++) p.meta_update_sizes.Add(4);
+  Advice a = Recommend(p, flash::CellType::kSlc, 65536, AdvisorGoal::kLongevity);
+  EXPECT_EQ(a.scheme.m, 125);
+  EXPECT_EQ(a.scheme.n, 4);
+}
+
 TEST(AdvisorTest, SpaceCapRespectedForHugeM) {
   ObjectProfile p;
   p.name = "linkbench_like";

@@ -102,6 +102,73 @@ TEST(IplSimulatorTest, WriteAmplificationFormula) {
   EXPECT_GT(sim.WriteAmplification(), 0.25);  // at least the partial writes
 }
 
+TEST(IplSimulatorTest, LogRegionWrapsAfterMerge) {
+  // After a merge the unit's log region starts over: filling it again takes
+  // another full 16 sectors before the next merge — the ring does not carry
+  // residual fill across the wrap.
+  IplSimulator sim;
+  for (int round = 0; round < 16; round++) {
+    sim.Apply(Update(round % 15, 16));
+    sim.Apply(Evict(round % 15));
+  }
+  ASSERT_EQ(sim.stats().merges, 1u);
+  // 15 more sector flushes: one short of the next wrap.
+  for (int round = 0; round < 15; round++) {
+    sim.Apply(Update(round % 15, 16));
+    sim.Apply(Evict(round % 15));
+  }
+  EXPECT_EQ(sim.stats().merges, 1u);
+  sim.Apply(Update(0, 16));
+  sim.Apply(Evict(0));
+  EXPECT_EQ(sim.stats().merges, 2u);
+}
+
+TEST(IplSimulatorTest, UnitsWrapIndependently) {
+  // Pages 0..14 land in unit 0, pages 15..29 in unit 1 (first-touch order).
+  // Filling unit 1's log region must not advance unit 0's ring.
+  IplSimulator sim;
+  for (uint64_t p = 0; p < 30; p++) sim.Apply(Fetch(p));
+  for (int round = 0; round < 16; round++) {
+    uint64_t page = 15 + (round % 15);
+    sim.Apply(Update(page, 16));
+    sim.Apply(Evict(page));
+  }
+  ASSERT_EQ(sim.stats().merges, 1u);
+  // Unit 0 still has an empty log region: 15 flushes stay merge-free.
+  for (int round = 0; round < 15; round++) {
+    sim.Apply(Update(round % 15, 16));
+    sim.Apply(Evict(round % 15));
+  }
+  EXPECT_EQ(sim.stats().merges, 1u);
+}
+
+TEST(IplSimulatorTest, SectorFillResidualCarriesAcrossFlush) {
+  // A 1004B entry (1000 + 4B header) wraps the 512B sector once and leaves
+  // 492B of residue; topping it up with 32B wraps again with 12B left, so a
+  // final eviction flushes a third partial write.
+  IplSimulator sim;
+  sim.Apply(Update(1, 1000));
+  EXPECT_EQ(sim.stats().imlog_full_flushes, 1u);
+  sim.Apply(Update(1, 28));
+  EXPECT_EQ(sim.stats().imlog_full_flushes, 2u);
+  sim.Apply(Evict(1));
+  EXPECT_EQ(sim.stats().physical_writes, 3u);
+}
+
+TEST(IplSimulatorTest, ExactSectorFillWrapsToZero) {
+  // An entry of exactly 512B (508 + header) flushes once and leaves the
+  // in-memory sector empty; the following eviction still flushes the (empty)
+  // sector as IPL's unconditional eviction write.
+  IplSimulator sim;
+  sim.Apply(Update(1, 508));
+  EXPECT_EQ(sim.stats().imlog_full_flushes, 1u);
+  sim.Apply(Update(1, 508));
+  EXPECT_EQ(sim.stats().imlog_full_flushes, 2u);
+  sim.Apply(Evict(1));
+  EXPECT_EQ(sim.stats().page_evictions, 1u);
+  EXPECT_EQ(sim.stats().physical_writes, 3u);
+}
+
 TEST(IplSimulatorTest, FlushAllDrainsSectors) {
   IplSimulator sim;
   sim.Apply(Update(1, 8));
