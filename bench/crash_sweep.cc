@@ -31,7 +31,10 @@ using Reference = std::map<uint64_t, std::vector<uint8_t>>;
 /// One fully private simulated stack per sweep point.
 struct Testbed {
   flash::FlashArray dev;
-  ftl::NoFtl noftl;
+  ftl::NoFtl noftl;                       // kNoFtl stacks only
+  std::unique_ptr<ftl::PageFtl> pageftl;  // page-FTL stacks only
+  /// The tablespace's backend, whichever stack is active.
+  ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;
   ftl::RegionId region = 0;
   engine::TablespaceId ts = 0;
@@ -50,27 +53,45 @@ struct Testbed {
 
   Testbed() : dev(Geo(), flash::SlcTiming()), noftl(&dev) {}
 
-  Status Open() {
-    storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
-    ftl::RegionConfig rc;
-    rc.name = "sweep";
-    rc.logical_pages = 256;
-    rc.ipa_mode = ftl::IpaMode::kSlc;
-    rc.delta_area_offset = Geo().page_size - scheme.AreaBytes();
-    rc.manage_ecc = true;
-    auto r = noftl.CreateRegion(rc);
-    IPA_RETURN_NOT_OK(r.status());
-    region = r.value();
-
+  Status Open(workload::Backend kind) {
     engine::EngineConfig ec;
     ec.page_size = Geo().page_size;
     ec.buffer_pages = 12;  // tiny pool: constant steal under the workload
     ec.log_capacity_bytes = 1 << 20;
     ec.log_reclaim_threshold = 0.375;
-    db = std::make_unique<engine::Database>(&noftl, ec);
-    auto t = db->CreateTablespace("sweep", region, scheme);
-    IPA_RETURN_NOT_OK(t.status());
-    ts = t.value();
+
+    if (kind == workload::Backend::kNoFtl) {
+      storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+      ftl::RegionConfig rc;
+      rc.name = "sweep";
+      rc.logical_pages = 256;
+      rc.ipa_mode = ftl::IpaMode::kSlc;
+      rc.delta_area_offset = Geo().page_size - scheme.AreaBytes();
+      rc.manage_ecc = true;
+      auto r = noftl.CreateRegion(rc);
+      IPA_RETURN_NOT_OK(r.status());
+      region = r.value();
+      backend = noftl.region_device(region);
+      db = std::make_unique<engine::Database>(&noftl, ec);
+      auto t = db->CreateTablespace("sweep", region, scheme);
+      IPA_RETURN_NOT_OK(t.status());
+      ts = t.value();
+    } else {
+      ftl::PageFtlConfig pc;
+      pc.name = "sweep";
+      pc.logical_pages = 256;
+      pc.gc_policy = kind == workload::Backend::kPageFtlGreedy
+                         ? ftl::GcPolicy::kGreedy
+                         : ftl::GcPolicy::kCostBenefit;
+      auto pf = ftl::PageFtl::Create(&dev, pc);
+      IPA_RETURN_NOT_OK(pf.status());
+      pageftl = std::move(pf).value();
+      backend = pageftl.get();
+      db = std::make_unique<engine::Database>(nullptr, ec, &dev.clock());
+      auto t = db->CreateTablespaceOn("sweep", pageftl.get(), {});
+      IPA_RETURN_NOT_OK(t.status());
+      ts = t.value();
+    }
     auto a = db->CreateTable("account", ts);
     IPA_RETURN_NOT_OK(a.status());
     accounts_tbl = a.value();
@@ -230,7 +251,7 @@ CrashSweepPoint RunPoint(const CrashSweepConfig& cfg, uint32_t accounts,
   CrashSweepPoint p;
   p.inject_at = inject_at;
   Testbed tb;
-  Status open = tb.Open();
+  Status open = tb.Open(cfg.backend);
   if (!open.ok()) {
     p.error = "open: " + open.ToString();
     return p;
@@ -260,7 +281,7 @@ CrashSweepPoint RunPoint(const CrashSweepConfig& cfg, uint32_t accounts,
     p.error = "recover: " + rs.ToString();
     return p;
   }
-  const ftl::RegionStats& st = tb.noftl.region_stats(tb.region);
+  const ftl::RegionStats& st = tb.backend->stats();
   p.torn_bytes = st.torn_delta_bytes_dropped;
   p.quarantined = st.torn_pages_quarantined;
   if (st.ecc_uncorrectable != 0) {
@@ -309,7 +330,7 @@ Result<CrashSweepReport> RunCrashSweep(const CrashSweepConfig& config) {
   CrashSweepReport report;
   {
     Testbed tb;
-    IPA_RETURN_NOT_OK(tb.Open());
+    IPA_RETURN_NOT_OK(tb.Open(cfg.backend));
     tb.dev.SetPowerLossPolicy(flash::PowerLossPolicy{});  // armed never: counts ops
     auto wr = RunTpcb(tb, cfg.accounts, cfg.txns, cfg.seed);
     IPA_RETURN_NOT_OK(wr.status());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "workload/testbed.h"
 
 namespace ipa::bench {
 
@@ -31,6 +32,9 @@ struct CrashSweepConfig {
   uint64_t max_points = 0;   ///< Cap on injection points (0 = every op index).
   unsigned jobs = 0;         ///< Worker threads (0 = Jobs()).
   bool scale_with_env = true;  ///< Apply IPA_SCALE to `txns`.
+  /// FTL stack under test. Page-FTL backends tear GC migrations, lazy block
+  /// erases and OOB reverse-map programs instead of delta appends.
+  workload::Backend backend = workload::Backend::kNoFtl;
 };
 
 /// Outcome of one injection point.

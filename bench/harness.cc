@@ -108,6 +108,7 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
 
   workload::TestbedConfig tc;
   tc.profile = config.profile;
+  tc.backend = config.backend;
   tc.page_size = config.page_size;
   tc.scheme = config.scheme;
   tc.db_pages = db_pages;
@@ -132,12 +133,12 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
   IPA_RETURN_NOT_OK(bed->db->Checkpoint());
 
   // Reset all statistics for the measurement phase.
-  bed->noftl->ResetStats(bed->region);
+  bed->ResetBackendStats();
   bed->db->buffer_pool().ResetStats();
   bed->db->buffer_pool().mutable_update_traces().clear();
   bed->db->ResetTxnStats();
   bed->db->ClearIoTrace();
-  SimTime t0 = bed->noftl->clock().Now();
+  SimTime t0 = bed->clock().Now();
 
   uint32_t cpu = config.cpu_us_per_txn == UINT32_MAX
                      ? DefaultCpuUs(config.workload)
@@ -145,23 +146,23 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
   if (config.sim_time_us > 0) {
     SimTime deadline = t0 + config.sim_time_us;
     uint64_t cap = config.txns * 50;
-    for (uint64_t i = 0; i < cap && bed->noftl->clock().Now() < deadline; i++) {
+    for (uint64_t i = 0; i < cap && bed->clock().Now() < deadline; i++) {
       auto r = wl->RunTransaction();
       IPA_RETURN_NOT_OK(r.status());
-      bed->noftl->clock().Advance(cpu);
+      bed->clock().Advance(cpu);
     }
   } else {
     for (uint64_t i = 0; i < config.txns; i++) {
       auto r = wl->RunTransaction();
       IPA_RETURN_NOT_OK(r.status());
-      bed->noftl->clock().Advance(cpu);
+      bed->clock().Advance(cpu);
     }
   }
   // Drain dirty state so flush-path counters reflect the whole phase.
   IPA_RETURN_NOT_OK(bed->db->buffer_pool().FlushAll());
 
-  SimTime t1 = bed->noftl->clock().Now();
-  const ftl::RegionStats& rs = bed->region_stats();
+  SimTime t1 = bed->clock().Now();
+  const ftl::RegionStats& rs = bed->backend_stats();
   const engine::BufferStats& bs = bed->db->buffer_pool().stats();
 
   RunResult out;
@@ -178,6 +179,12 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
   out.erases_per_host_write = rs.ErasesPerHostWrite();
   out.read_latency_ms = rs.read_latency.MeanMillis();
   out.write_latency_ms = rs.write_latency.MeanMillis();
+  out.read_p50_ms = rs.read_latency.PercentileMicros(50) / 1000.0;
+  out.read_p95_ms = rs.read_latency.PercentileMicros(95) / 1000.0;
+  out.read_p99_ms = rs.read_latency.PercentileMicros(99) / 1000.0;
+  out.write_p50_ms = rs.write_latency.PercentileMicros(50) / 1000.0;
+  out.write_p95_ms = rs.write_latency.PercentileMicros(95) / 1000.0;
+  out.write_p99_ms = rs.write_latency.PercentileMicros(99) / 1000.0;
   out.txn_latency_ms = bed->db->txn_stats().txn_latency.MeanMillis();
   out.commits = bed->db->txn_stats().commits;
   out.aborts = bed->db->txn_stats().aborts;

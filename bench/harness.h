@@ -27,6 +27,9 @@ struct RunConfig {
   Wl workload = Wl::kTpcb;
   storage::Scheme scheme = {};  // [0x0] = IPA off
   workload::Profile profile = workload::Profile::kEmulatorSlc;
+  /// FTL backend under the tablespace; page-FTL backends force scheme = {}
+  /// (see docs/FTL_BACKENDS.md).
+  workload::Backend backend = workload::Backend::kNoFtl;
   double buffer_fraction = 0.5;
   uint32_t page_size = 4096;
   /// Eager Shore-MT policies (cleaner at 12.5% dirty, log reclaim at 37.5%)
@@ -74,6 +77,9 @@ struct RunResult {
   // Latency / throughput (simulated time).
   double read_latency_ms = 0;
   double write_latency_ms = 0;  ///< out-of-place page writes
+  // Latency CDF points (simulated ms) for the backend-comparison tables.
+  double read_p50_ms = 0, read_p95_ms = 0, read_p99_ms = 0;
+  double write_p50_ms = 0, write_p95_ms = 0, write_p99_ms = 0;
   double txn_latency_ms = 0;
   double throughput_tps = 0;
   uint64_t commits = 0;

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Verify that every intra-repo markdown link and #anchor in the repo's
+# documentation resolves. No network access: http(s)/mailto links are
+# ignored. Scanned: *.md at the repo root and under docs/.
+#
+# Usage: scripts/check_docs.sh
+# Exit: 0 all links resolve, 1 broken links (each printed), 2 setup error.
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+python3 - <<'PY'
+import os, re, sys
+
+# PAPERS.md / SNIPPETS.md are generated reference dumps, not docs we own.
+SKIP = {"PAPERS.md", "SNIPPETS.md"}
+
+files = sorted(
+    [f for f in os.listdir(".") if f.endswith(".md") and f not in SKIP]
+    + ["docs/" + f for f in os.listdir("docs") if f.endswith(".md")]
+)
+
+def strip_code(text):
+    """Remove fenced code blocks and inline code spans."""
+    text = re.sub(r"^```.*?^```", "", text, flags=re.S | re.M)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+def anchors_of(text):
+    """GitHub-style anchor slugs for every heading."""
+    slugs, seen = set(), {}
+    for line in strip_code(text).splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if not m:
+            continue
+        h = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", m.group(1))  # unlink
+        h = re.sub(r"[`*_]", "", h).strip().lower()
+        slug = re.sub(r"[ ]", "-", re.sub(r"[^\w\- ]", "", h))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+contents = {f: open(f, encoding="utf-8").read() for f in files}
+anchor_cache = {f: anchors_of(t) for f, t in contents.items()}
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+errors = []
+for f, text in contents.items():
+    base = os.path.dirname(f)
+    for target in LINK.findall(strip_code(text)):
+        if re.match(r"(https?|mailto):", target):
+            continue
+        path, _, frag = target.partition("#")
+        if path:
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                errors.append(f"{f}: broken link -> {target}")
+                continue
+        else:
+            resolved = f
+        if frag:
+            if not resolved.endswith(".md"):
+                continue  # anchors into source files are line refs, skip
+            if resolved not in anchor_cache:
+                if not os.path.exists(resolved):
+                    errors.append(f"{f}: broken link -> {target}")
+                    continue
+                anchor_cache[resolved] = anchors_of(
+                    open(resolved, encoding="utf-8").read())
+            if frag.lower() not in anchor_cache[resolved]:
+                errors.append(f"{f}: missing anchor -> {target}")
+
+for e in errors:
+    print(e)
+print(f"check_docs: {len(files)} files scanned, {len(errors)} broken links")
+sys.exit(1 if errors else 0)
+PY

@@ -15,6 +15,7 @@
 #include "flash/flash_array.h"
 #include "flash/timing.h"
 #include "ftl/noftl.h"
+#include "ftl/page_ftl.h"
 #include "storage/page_format.h"
 
 namespace ipa::check {
@@ -22,7 +23,7 @@ namespace ipa::check {
 namespace {
 
 constexpr const char* kScheduleNames[kNumSchedules] = {
-    "slc", "slc-noneager", "pslc", "oddmlc", "slc-noecc"};
+    "slc", "slc-noneager", "pslc", "oddmlc", "slc-noecc", "pageftl"};
 
 constexpr const char* kKindNames[] = {
     "insert", "update",     "resize",     "delete", "read",      "commit",
@@ -39,7 +40,10 @@ std::vector<uint8_t> Payload(uint64_t seed, size_t n) {
 /// One fully private simulated stack (same shape as the crash sweep's).
 struct Testbed {
   flash::FlashArray dev;
-  ftl::NoFtl noftl;
+  ftl::NoFtl noftl;                       // kPageFtl schedules leave it idle
+  std::unique_ptr<ftl::PageFtl> pageftl;  // kPageFtl schedules only
+  /// The stack's FTL backend, whichever flavor is active.
+  ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;
   ftl::RegionId region = 0;
   engine::TablespaceId ts = 0;
@@ -66,6 +70,28 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   flash::Geometry g = GeoFor(s);
   auto tb = std::make_unique<Testbed>(g, flash::TimingFor(g.cell_type));
 
+  engine::EngineConfig pec;
+  if (s == Schedule::kPageFtl) {
+    // Cooked-device stack: page-mapping FTL instead of a NoFTL region, no
+    // scheme (write_delta is structurally impossible behind it).
+    ftl::PageFtlConfig pc;
+    pc.name = ScheduleName(s);
+    pc.logical_pages = 256;
+    pc.gc_policy = ftl::GcPolicy::kCostBenefit;
+    IPA_ASSIGN_OR_RETURN(tb->pageftl, ftl::PageFtl::Create(&tb->dev, pc));
+    tb->backend = tb->pageftl.get();
+    pec.page_size = g.page_size;
+    pec.buffer_pages = 12;
+    pec.log_capacity_bytes = 1 << 20;
+    pec.log_reclaim_threshold = 0.375;
+    tb->db = std::make_unique<engine::Database>(nullptr, pec, &tb->dev.clock());
+    IPA_ASSIGN_OR_RETURN(
+        tb->ts, tb->db->CreateTablespaceOn("fuzz", tb->pageftl.get(), {}));
+    IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
+    IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
+    return tb;
+  }
+
   storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
   ftl::RegionConfig rc;
   rc.name = ScheduleName(s);
@@ -88,6 +114,7 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   }
   tb->db = std::make_unique<engine::Database>(&tb->noftl, ec);
   IPA_ASSIGN_OR_RETURN(tb->ts, tb->db->CreateTablespace("fuzz", tb->region, scheme));
+  tb->backend = tb->noftl.region_device(tb->region);
   IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
   IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
   return tb;
@@ -139,7 +166,7 @@ class Runner {
     Status s = DeepCheck(model_.view());
     if (!s.ok()) return Fail(end, s);
 
-    const auto& rs = tb_->noftl.region_stats(tb_->region);
+    const auto& rs = tb_->backend->stats();
     res_.torn_bytes = rs.torn_delta_bytes_dropped;
     res_.quarantined = rs.torn_pages_quarantined;
     res_.fingerprint = Fingerprint();
@@ -207,6 +234,11 @@ class Runner {
     if (!tb_->dev.powered_on()) {
       return Status::Internal("device left powered off after op handling");
     }
+    if (cfg_.schedule == Schedule::kPageFtl) {
+      return CheckPageFtlCounterConservation(tb_->dev.stats(),
+                                             tb_->backend->stats(),
+                                             tb_->db->buffer_pool().stats());
+    }
     return CheckCounterConservation(tb_->dev.stats(),
                                     tb_->noftl.region_stats(tb_->region),
                                     tb_->db->buffer_pool().stats());
@@ -216,8 +248,12 @@ class Runner {
   Status DeepCheck(const ModelDb::Map& want) {
     IPA_RETURN_NOT_OK(CheckEquivalence(want));
     IPA_RETURN_NOT_OK(tb_->dev.AuditState());
-    IPA_RETURN_NOT_OK(tb_->noftl.AuditRegion(tb_->region));
-    IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
+    IPA_RETURN_NOT_OK(tb_->backend->Audit());
+    if (cfg_.schedule != Schedule::kPageFtl) {
+      // Delta areas only exist on NoFTL regions; behind a page-mapping FTL
+      // every page body is an opaque host image.
+      IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
+    }
     return shadow_.ObserveAndCheck(tb_->dev);
   }
 
@@ -399,11 +435,16 @@ class Runner {
         return s;
       }
       case Op::Kind::kScrub: {
-        Status s = tb_->noftl.ScrubRegion(tb_->region, op.a % 4 == 0);
+        // A black-box FTL exposes no scrub hook; the closest background
+        // maintenance it runs on its own is a GC pass.
+        Status s = cfg_.schedule == Schedule::kPageFtl
+                       ? tb_->pageftl->CollectOnce()
+                       : tb_->noftl.ScrubRegion(tb_->region, op.a % 4 == 0);
         if (s.IsOutOfSpace()) return Status::OK();
         return s;
       }
       case Op::Kind::kWearLevel: {
+        if (cfg_.schedule == Schedule::kPageFtl) return Status::OK();
         uint32_t spread = 2 + static_cast<uint32_t>(op.a % 6);
         Status s = tb_->noftl.WearLevelRegion(tb_->region, spread);
         if (s.IsOutOfSpace()) return Status::OK();
@@ -465,7 +506,7 @@ class Runner {
       crc = Crc32c(v.data(), v.size(), crc);
     }
     const auto& ds = tb_->dev.stats();
-    const auto& rs = tb_->noftl.region_stats(tb_->region);
+    const auto& rs = tb_->backend->stats();
     for (uint64_t v :
          {res_.commits, res_.crashes, ds.page_programs, ds.delta_programs,
           ds.block_erases, ds.page_refreshes, rs.host_page_writes,

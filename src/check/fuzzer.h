@@ -36,8 +36,11 @@ enum class Schedule : uint8_t {
   kOddMlc,       ///< MLC device, appends on LSB pages, fallback on MSB.
   kSlcNoEcc,     ///< No managed ECC: crash consistency is not promised
                  ///< (Section 6.2), so this schedule runs without power cuts.
+  kPageFtl,      ///< Conventional page-mapping FTL (cost-benefit GC) instead
+                 ///< of a NoFTL region: no write_delta, OOB reverse-map
+                 ///< mounts, GC/mount ops torn by power cuts.
 };
-constexpr int kNumSchedules = 5;
+constexpr int kNumSchedules = 6;
 
 const char* ScheduleName(Schedule s);
 bool ParseSchedule(const std::string& name, Schedule* out);

@@ -105,6 +105,47 @@ Status CheckCounterConservation(const flash::DeviceStats& dev,
   return Status::OK();
 }
 
+Status CheckPageFtlCounterConservation(const flash::DeviceStats& dev,
+                                       const ftl::RegionStats& ftl,
+                                       const engine::BufferStats& pool) {
+  // A page-mapping FTL programs pages for exactly two reasons: host
+  // out-of-place writes and GC migrations. Torn programs complete no write
+  // on either side of the equation.
+  uint64_t causes = ftl.host_page_writes + ftl.gc_page_migrations;
+  if (dev.page_programs != causes) {
+    return Mismatch("page programs vs host+gc causes", dev.page_programs,
+                    causes);
+  }
+  // write_delta is structurally impossible behind a cooked device.
+  if (dev.delta_programs != 0 || ftl.host_delta_writes != 0) {
+    return Mismatch("page-mapping FTL issued delta programs",
+                    dev.delta_programs, ftl.host_delta_writes);
+  }
+  // Every erase is GC's: on-demand victim erases plus the lazy re-erases of
+  // free blocks whose physical state a crash left unknown.
+  if (dev.block_erases != ftl.gc_erases) {
+    return Mismatch("block erases vs gc erases", dev.block_erases,
+                    ftl.gc_erases);
+  }
+  if (dev.page_refreshes != 0) {
+    return Mismatch("page-mapping FTL issued refreshes", dev.page_refreshes, 0);
+  }
+  // Every buffer-pool writeback falls back to a full-page host write.
+  if (pool.ipa_flushes != 0) {
+    return Mismatch("pool delta flushes behind a cooked device",
+                    pool.ipa_flushes, 0);
+  }
+  if (pool.oop_flushes != ftl.host_page_writes) {
+    return Mismatch("pool page flushes vs host page writes", pool.oop_flushes,
+                    ftl.host_page_writes);
+  }
+  if (pool.flushes < pool.clean_diff_skips + pool.oop_flushes) {
+    return Mismatch("flush attempts vs completed flushes", pool.flushes,
+                    pool.clean_diff_skips + pool.oop_flushes);
+  }
+  return Status::OK();
+}
+
 Status AuditMappedDeltaAreas(const flash::FlashArray& dev,
                              const ftl::NoFtl& noftl, ftl::RegionId region) {
   const auto& g = dev.geometry();

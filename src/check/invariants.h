@@ -55,6 +55,15 @@ Status CheckCounterConservation(const flash::DeviceStats& dev,
                                 const ftl::RegionStats& reg,
                                 const engine::BufferStats& pool);
 
+/// Same conservation family for an engine stack driving one PageFtl
+/// exclusively. A page-mapping FTL issues no delta programs, no refreshes
+/// and no wear-level swaps, so every device page program is a host write or
+/// a GC migration and every erase is GC's (including the lazy re-erases of
+/// crash-surviving free blocks, which PageFtl books under gc_erases).
+Status CheckPageFtlCounterConservation(const flash::DeviceStats& dev,
+                                       const ftl::RegionStats& ftl,
+                                       const engine::BufferStats& pool);
+
 /// Audit the raw media delta area of every mapped page of `region`.
 /// Only meaningful when no torn write is pending recovery (after a completed
 /// RecoverAfterPowerLoss, or during normal operation).

@@ -389,12 +389,13 @@ Status Database::DropTable(TableId table) {
   Table& t = tables_[table];
   if (t.dropped) return Status::InvalidArgument("table already dropped");
   Tablespace& ts = tablespaces_[t.ts];
+  auto* backend = dynamic_cast<ftl::FtlBackend*>(ts.device);
   for (PageId pid : t.pages) {
     // Evict any buffered copy without flushing, then unmap on the device.
     // (Pages of a dropped table must not be written back by the cleaner.)
     pool_->DropPageNoFlush(pid);
-    if (ts.region < UINT32_MAX && ftl_ && ts.device->IsMapped(pid.lba())) {
-      IPA_RETURN_NOT_OK(ftl_->Trim(ts.region, pid.lba()));
+    if (backend && ts.device->IsMapped(pid.lba())) {
+      IPA_RETURN_NOT_OK(backend->Trim(pid.lba()));
     }
   }
   t.pages.clear();
@@ -601,15 +602,19 @@ Status Database::RedoRecord(const LogRecord& rec, Lsn lsn) {
 }
 
 Status Database::RecoverAfterPowerLoss() {
-  // Mount-time scan first: ARIES redo must never read torn delta bytes.
-  if (ftl_) {
-    std::vector<bool> scanned(ftl_->region_count(), false);
-    for (const Tablespace& ts : tablespaces_) {
-      if (ts.device != ftl_->region_device(ts.region)) continue;  // not NoFTL-backed
-      if (scanned[ts.region]) continue;
-      scanned[ts.region] = true;
-      IPA_RETURN_NOT_OK(ftl_->MountScan(ts.region));
+  // Mount every distinct backend first: ARIES redo must never read torn
+  // on-media state (torn delta bytes on NoFTL regions, torn reverse-map
+  // entries on a page-mapping FTL). Backends shared by several tablespaces
+  // are mounted once.
+  std::vector<ftl::FtlBackend*> mounted;
+  for (const Tablespace& ts : tablespaces_) {
+    auto* backend = dynamic_cast<ftl::FtlBackend*>(ts.device);
+    if (!backend) continue;  // raw PageDevice without a management plane
+    if (std::find(mounted.begin(), mounted.end(), backend) != mounted.end()) {
+      continue;
     }
+    mounted.push_back(backend);
+    IPA_RETURN_NOT_OK(backend->Mount());
   }
   return Recover();
 }

@@ -113,4 +113,22 @@ bool BlackboxSsd::IsMapped(Lba lba) const {
   return hint_set_ && ftl_->IsMapped(region_, lba);
 }
 
+Status BlackboxSsd::Trim(Lba lba) {
+  if (!hint_set_) {
+    return Status::InvalidArgument("device not formatted (scheme hint pending)");
+  }
+  InterfaceDelay(true);
+  return ftl_->Trim(region_, lba);
+}
+
+Status BlackboxSsd::Mount(MountScanReport* report) {
+  if (!hint_set_) {
+    // A never-formatted device has nothing to scan.
+    if (report) *report = MountScanReport{};
+    return Status::OK();
+  }
+  InterfaceDelay(true);
+  return ftl_->MountScan(region_, report);
+}
+
 }  // namespace ipa::ftl

@@ -24,8 +24,8 @@
 
 #include <memory>
 
+#include "ftl/ftl_backend.h"
 #include "ftl/noftl.h"
-#include "ftl/page_device.h"
 
 namespace ipa::ftl {
 
@@ -43,7 +43,7 @@ struct BlackboxSsdConfig {
   uint64_t capacity_slack_blocks = 8;
 };
 
-class BlackboxSsd : public PageDevice {
+class BlackboxSsd : public FtlBackend {
  public:
   explicit BlackboxSsd(const BlackboxSsdConfig& config);
 
@@ -64,9 +64,15 @@ class BlackboxSsd : public PageDevice {
   uint32_t page_size() const override { return config_.page_size; }
   uint64_t capacity_pages() const override { return config_.logical_pages; }
 
+  // -- FtlBackend management plane (cross the host interface too) -------------
+  const char* backend_name() const override { return "blackbox"; }
+  Status Trim(Lba lba) override;
+  Status Mount(MountScanReport* report = nullptr) override;
+  Status Audit() const override { return ftl_->AuditRegion(region_); }
+
   // -- Introspection ------------------------------------------------------------
-  const RegionStats& stats() const { return ftl_->region_stats(region_); }
-  void ResetStats() { ftl_->ResetStats(region_); }
+  const RegionStats& stats() const override { return ftl_->region_stats(region_); }
+  void ResetStats() override { ftl_->ResetStats(region_); }
   flash::FlashArray& flash() { return *dev_; }
   SimClock& clock() { return dev_->clock(); }
   bool hint_set() const { return hint_set_; }

@@ -179,7 +179,7 @@ Result<RegionId> NoFtl::CreateRegion(const RegionConfig& config) {
   return id;
 }
 
-PageDevice* NoFtl::region_device(RegionId r) { return &region_devices_[r]; }
+FtlBackend* NoFtl::region_device(RegionId r) { return &region_devices_[r]; }
 
 uint32_t NoFtl::BlockIndexOf(const Region& reg, flash::Ppn ppn) const {
   flash::Pbn pbn = flash::BlockOf(device_->geometry(), ppn);

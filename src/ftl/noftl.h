@@ -35,12 +35,9 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "flash/flash_array.h"
-#include "ftl/page_device.h"
+#include "ftl/ftl_backend.h"
 
 namespace ipa::ftl {
-
-/// Logical page address within one region (see page_device.h).
-constexpr Lba kInvalidLba = ~0ull;
 
 /// IPA capability of a region (see file header).
 enum class IpaMode { kOff, kSlc, kPSlc, kOddMlc };
@@ -68,56 +65,11 @@ struct RegionConfig {
   bool manage_ecc = false;
 };
 
-/// Per-region I/O statistics; the raw material for the paper's tables.
-struct RegionStats {
-  uint64_t host_reads = 0;         ///< read_page commands.
-  uint64_t host_page_writes = 0;   ///< Out-of-place page writes.
-  uint64_t host_delta_writes = 0;  ///< In-place appends (write_delta).
-  uint64_t delta_bytes_written = 0;
-  uint64_t delta_fallbacks = 0;    ///< write_delta rejected -> caller wrote page.
-  uint64_t gc_page_migrations = 0;
-  uint64_t gc_erases = 0;
-  uint64_t ecc_corrected_bits = 0;
-  uint64_t ecc_uncorrectable = 0;
-  /// Torn-write detection (power loss mid-append, docs/CRASH_TESTING.md).
-  uint64_t torn_delta_bytes_dropped = 0;  ///< Uncovered delta bytes scrubbed on read.
-  uint64_t torn_pages_quarantined = 0;    ///< Pages rewritten clean by MountScan.
-  uint64_t scrub_refreshes = 0;         ///< Correct-and-Refresh reprograms.
-  uint64_t wear_level_migrations = 0;   ///< Static wear-leveling page moves.
-  uint64_t wear_level_swaps = 0;        ///< Cold-block/worn-block exchanges.
-  LatencyStats read_latency;
-  LatencyStats write_latency;        ///< Out-of-place page writes.
-  LatencyStats delta_write_latency;  ///< write_delta appends.
-
-  uint64_t HostWrites() const { return host_page_writes + host_delta_writes; }
-  double MigrationsPerHostWrite() const {
-    return HostWrites() == 0 ? 0.0
-                             : static_cast<double>(gc_page_migrations) /
-                                   static_cast<double>(HostWrites());
-  }
-  double ErasesPerHostWrite() const {
-    return HostWrites() == 0 ? 0.0
-                             : static_cast<double>(gc_erases) /
-                                   static_cast<double>(HostWrites());
-  }
-  /// Share of host writes served as in-place appends, in percent.
-  double IpaSharePercent() const {
-    return HostWrites() == 0 ? 0.0
-                             : 100.0 * static_cast<double>(host_delta_writes) /
-                                   static_cast<double>(HostWrites());
-  }
-};
+// RegionStats and MountScanReport live in ftl_backend.h — they are shared by
+// every backend (NoFtl regions, PageFtl, BlackboxSsd).
 
 /// Handle to a created region.
 using RegionId = uint32_t;
-
-/// Result of a mount-time torn-write scan (NoFtl::MountScan).
-struct MountScanReport {
-  uint64_t pages_scanned = 0;
-  uint64_t torn_pages_quarantined = 0;
-  uint64_t torn_bytes_dropped = 0;
-  uint64_t uncorrectable_pages = 0;
-};
 
 class NoFtl {
  public:
@@ -212,13 +164,14 @@ class NoFtl {
   /// Physical page currently backing `lba` (tests / introspection).
   flash::Ppn PhysicalOf(RegionId r, Lba lba) const;
 
-  /// PageDevice view of one region (what the engine programs against).
-  /// The returned pointer is owned by the NoFtl and valid for its lifetime.
-  PageDevice* region_device(RegionId r);
+  /// FtlBackend view of one region (what the engine programs against and
+  /// what recovery mounts). The returned pointer is owned by the NoFtl and
+  /// valid for its lifetime.
+  FtlBackend* region_device(RegionId r);
 
  private:
-  /// Adapts (NoFtl, RegionId) to the PageDevice interface.
-  class RegionDevice : public PageDevice {
+  /// Adapts (NoFtl, RegionId) to the FtlBackend interface.
+  class RegionDevice : public FtlBackend {
    public:
     RegionDevice(NoFtl* ftl, RegionId region) : ftl_(ftl), region_(region) {}
     Status ReadPage(Lba lba, uint8_t* out) override {
@@ -243,6 +196,16 @@ class NoFtl {
     uint64_t capacity_pages() const override {
       return ftl_->region_config(region_).logical_pages;
     }
+    const char* backend_name() const override { return "noftl"; }
+    Status Trim(Lba lba) override { return ftl_->Trim(region_, lba); }
+    Status Mount(MountScanReport* report) override {
+      return ftl_->MountScan(region_, report);
+    }
+    Status Audit() const override { return ftl_->AuditRegion(region_); }
+    const RegionStats& stats() const override {
+      return ftl_->region_stats(region_);
+    }
+    void ResetStats() override { ftl_->ResetStats(region_); }
 
    private:
     NoFtl* ftl_;

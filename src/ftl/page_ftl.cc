@@ -1,0 +1,620 @@
+#include "ftl/page_ftl.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/metrics.h"
+
+namespace ipa::ftl {
+
+namespace {
+/// OOB reverse-map entry layout (little-endian):
+///   [0,2)   magic 0x50F7 ("PF")
+///   [2,10)  lba
+///   [10,18) sequence number (monotonic per FTL instance and across mounts)
+///   [18,22) CRC32-C of the page body as written
+///   [22,26) CRC32-C of bytes [0,22) — rejects torn / erased entries
+constexpr uint16_t kOobMagic = 0x50F7;
+constexpr uint32_t kEntryCrcOffset = 22;
+
+/// Process-wide page-FTL counters, summed over every PageFtl instance
+/// (per-instance splits stay in RegionStats).
+struct PageFtlCounters {
+  metrics::Counter host_reads{"pageftl.host_reads"};
+  metrics::Counter host_page_writes{"pageftl.host_page_writes"};
+  metrics::Counter gc_page_migrations{"pageftl.gc.page_migrations"};
+  metrics::Counter gc_erases{"pageftl.gc.erases"};
+  metrics::Counter trims{"pageftl.trims"};
+  metrics::Counter map_updates{"pageftl.map_updates"};
+  metrics::Counter mount_pages_scanned{"pageftl.mount.pages_scanned"};
+  metrics::Counter mount_torn_quarantined{
+      "pageftl.mount.torn_pages_quarantined"};
+  metrics::Histogram read_latency{"pageftl.read_latency_us"};
+  metrics::Histogram write_latency{"pageftl.write_latency_us"};
+};
+
+PageFtlCounters& Pm() {
+  static PageFtlCounters counters;
+  return counters;
+}
+}  // namespace
+
+const char* GcPolicyName(GcPolicy p) {
+  switch (p) {
+    case GcPolicy::kGreedy: return "greedy";
+    case GcPolicy::kCostBenefit: return "cost-benefit";
+  }
+  return "?";
+}
+
+PageFtl::PageFtl(flash::FlashArray* device, const PageFtlConfig& config)
+    : device_(device), config_(config) {}
+
+Result<std::unique_ptr<PageFtl>> PageFtl::Create(flash::FlashArray* device,
+                                                 const PageFtlConfig& config) {
+  const auto& g = device->geometry();
+  if (config.logical_pages == 0) {
+    return Status::InvalidArgument("page FTL needs logical_pages > 0");
+  }
+  if (g.oob_size < kOobEntryBytes) {
+    return Status::InvalidArgument("OOB too small for a reverse-map entry");
+  }
+  if (config.gc_free_block_threshold == 0) {
+    return Status::InvalidArgument("gc_free_block_threshold must be >= 1");
+  }
+  std::unique_ptr<PageFtl> ftl(new PageFtl(device, config));
+  IPA_RETURN_NOT_OK(ftl->ClaimBlocks());
+  return ftl;
+}
+
+Status PageFtl::ClaimBlocks() {
+  const auto& g = device_->geometry();
+  uint64_t physical_pages_needed = static_cast<uint64_t>(
+      static_cast<double>(config_.logical_pages) *
+      (1.0 + config_.over_provisioning));
+  uint64_t blocks_needed =
+      (physical_pages_needed + g.pages_per_block - 1) / g.pages_per_block +
+      config_.gc_free_block_threshold + 1;
+  // Small FTLs striped over many chips need enough blocks that GC always has
+  // both victims and migration headroom.
+  blocks_needed = std::max<uint64_t>(
+      blocks_needed, 2ull * g.total_chips() + config_.gc_free_block_threshold);
+  uint64_t per_chip = (blocks_needed + g.total_chips() - 1) / g.total_chips();
+  if (per_chip > g.blocks_per_chip) {
+    return Status::OutOfSpace("device too small for page FTL '" +
+                              config_.name + "'");
+  }
+
+  // Claim the first `per_chip` blocks of every chip (the FTL owns the whole
+  // logical address space; striping keeps chip parallelism).
+  pbn_to_idx_.assign(g.total_blocks(), UINT32_MAX);
+  for (uint32_t chip = 0; chip < g.total_chips(); chip++) {
+    for (uint64_t b = 0; b < per_chip; b++) {
+      BlockInfo bi;
+      bi.pbn = static_cast<flash::Pbn>(chip) * g.blocks_per_chip + b;
+      uint32_t idx = static_cast<uint32_t>(blocks_.size());
+      pbn_to_idx_[bi.pbn] = idx;
+      blocks_.push_back(bi);
+      free_blocks_.push_back(idx);
+    }
+  }
+  active_by_chip_.assign(g.total_chips(), -1);
+  map_.assign(config_.logical_pages, flash::kInvalidPpn);
+  rmap_.assign(blocks_.size() * static_cast<size_t>(g.pages_per_block),
+               kInvalidLba);
+  return Status::OK();
+}
+
+uint32_t PageFtl::BlockIndexOf(flash::Ppn ppn) const {
+  flash::Pbn pbn = flash::BlockOf(device_->geometry(), ppn);
+  return pbn < pbn_to_idx_.size() ? pbn_to_idx_[pbn] : UINT32_MAX;
+}
+
+void PageFtl::Invalidate(flash::Ppn ppn) {
+  const auto& g = device_->geometry();
+  uint32_t bidx = BlockIndexOf(ppn);
+  if (bidx == UINT32_MAX) return;
+  uint32_t page = static_cast<uint32_t>(ppn % g.pages_per_block);
+  size_t ridx = static_cast<size_t>(bidx) * g.pages_per_block + page;
+  if (rmap_[ridx] != kInvalidLba) {
+    rmap_[ridx] = kInvalidLba;
+    if (blocks_[bidx].valid > 0) blocks_[bidx].valid--;
+  }
+}
+
+Status PageFtl::AllocatePage(flash::Ppn* ppn, uint32_t* block_idx,
+                             bool for_gc) {
+  const auto& g = device_->geometry();
+  for (uint32_t attempt = 0; attempt < g.total_chips(); attempt++) {
+    uint32_t chip = rr_cursor_ % g.total_chips();
+    rr_cursor_++;
+    int32_t active = active_by_chip_[chip];
+    if (active < 0 || blocks_[active].next_page >= g.pages_per_block) {
+      if (active >= 0) blocks_[active].is_active = false;
+      // Promote the least-worn free block on this chip to active. Host
+      // allocations must leave at least one free block for GC migrations.
+      if (!for_gc && free_blocks_.size() <= 1) {
+        active_by_chip_[chip] = -1;
+        continue;
+      }
+      int best = -1;
+      uint32_t best_wear = UINT32_MAX;
+      for (size_t i = 0; i < free_blocks_.size(); i++) {
+        uint32_t bi = free_blocks_[i];
+        if (blocks_[bi].pbn / g.blocks_per_chip != chip) continue;
+        uint32_t wear = device_->EraseCount(blocks_[bi].pbn);
+        if (wear < best_wear) {
+          best_wear = wear;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        active_by_chip_[chip] = -1;
+        continue;  // no free block on this chip; try the next chip
+      }
+      uint32_t bi = free_blocks_[best];
+      if (blocks_[bi].needs_erase) {
+        // Post-mount block of unknown physical state (a torn program can
+        // leave charge on content-erased cells): erase before first use. A
+        // power loss here leaves the block free and the erase re-runs after
+        // the next Mount().
+        IPA_RETURN_NOT_OK(device_->EraseBlock(blocks_[bi].pbn, nullptr, false));
+        blocks_[bi].needs_erase = false;
+        stats_.gc_erases++;
+        Pm().gc_erases.Inc();
+      }
+      free_blocks_.erase(free_blocks_.begin() + best);
+      blocks_[bi].is_free = false;
+      blocks_[bi].is_active = true;
+      blocks_[bi].next_page = 0;
+      active_by_chip_[chip] = static_cast<int32_t>(bi);
+      active = static_cast<int32_t>(bi);
+    }
+    BlockInfo& blk = blocks_[active];
+    *ppn = blk.pbn * g.pages_per_block + blk.next_page;
+    blk.next_page++;
+    *block_idx = static_cast<uint32_t>(active);
+    return Status::OK();
+  }
+  return Status::OutOfSpace("page FTL '" + config_.name +
+                            "' has no free pages");
+}
+
+int PageFtl::PickVictim() const {
+  const auto& g = device_->geometry();
+  int victim = -1;
+  uint32_t max_reclaim = 0;
+  double best_score = 0.0;
+  SimTime now = device_->clock().Now();
+  for (uint32_t i = 0; i < blocks_.size(); i++) {
+    const BlockInfo& b = blocks_[i];
+    if (b.is_free || b.is_active) continue;
+    uint32_t written = std::min(b.next_page, g.pages_per_block);
+    uint32_t reclaim = written - b.valid;
+    if (reclaim == 0) continue;  // erasing gains nothing
+    if (config_.gc_policy == GcPolicy::kGreedy) {
+      if (reclaim > max_reclaim) {
+        max_reclaim = reclaim;
+        victim = static_cast<int>(i);
+      }
+    } else {
+      // Cost-benefit (Dayan & Bonnet): utilization u weighs the migration
+      // cost, age rewards cold blocks whose valid pages are unlikely to be
+      // invalidated for free soon. +1 keeps brand-new blocks eligible.
+      double u = static_cast<double>(b.valid) / g.pages_per_block;
+      double age = static_cast<double>(now - b.last_write) + 1.0;
+      double score = (1.0 - u) / (1.0 + u) * age;
+      if (victim < 0 || score > best_score) {
+        best_score = score;
+        victim = static_cast<int>(i);
+      }
+    }
+  }
+  return victim;
+}
+
+Status PageFtl::RunGcIfNeeded() {
+  while (free_blocks_.size() < config_.gc_free_block_threshold) {
+    Status s = GarbageCollect();
+    if (!s.ok()) return s.IsNotFound() ? Status::OK() : s;
+  }
+  return Status::OK();
+}
+
+Status PageFtl::CollectOnce() {
+  Status s = GarbageCollect();
+  return s.IsNotFound() ? Status::OK() : s;
+}
+
+Status PageFtl::GarbageCollect() {
+  IPA_TRACE_SPAN("pageftl.gc", &device_->clock());
+  const auto& g = device_->geometry();
+  int victim = PickVictim();
+  if (victim < 0) return Status::NotFound("no GC victim available");
+  BlockInfo& vb = blocks_[victim];
+
+  // Migrate valid pages (device-internal I/O: no host transfer, async).
+  // Migrated copies get fresh sequence numbers, so a mount that sees both
+  // the old and the new physical page resolves to the migrated one.
+  std::vector<uint8_t> buf(g.page_size);
+  for (uint32_t page = 0; page < g.pages_per_block; page++) {
+    size_t ridx = static_cast<size_t>(victim) * g.pages_per_block + page;
+    Lba lba = rmap_[ridx];
+    if (lba == kInvalidLba) continue;
+    flash::Ppn old_ppn = vb.pbn * g.pages_per_block + page;
+    IPA_RETURN_NOT_OK(device_->ReadPage(old_ppn, buf.data(), nullptr, false));
+
+    flash::Ppn new_ppn;
+    uint32_t new_bidx;
+    IPA_RETURN_NOT_OK(AllocatePage(&new_ppn, &new_bidx, /*for_gc=*/true));
+    IPA_RETURN_NOT_OK(
+        ProgramMapped(new_ppn, new_bidx, lba, buf.data(), nullptr, false));
+    rmap_[ridx] = kInvalidLba;
+    vb.valid--;
+    size_t nidx = static_cast<size_t>(new_bidx) * g.pages_per_block +
+                  (new_ppn % g.pages_per_block);
+    rmap_[nidx] = lba;
+    blocks_[new_bidx].valid++;
+    map_[lba] = new_ppn;
+    stats_.gc_page_migrations++;
+    Pm().gc_page_migrations.Inc();
+    Pm().map_updates.Inc();
+  }
+
+  IPA_RETURN_NOT_OK(device_->EraseBlock(vb.pbn, nullptr, false));
+  vb.is_free = true;
+  vb.next_page = 0;
+  vb.valid = 0;
+  vb.needs_erase = false;
+  free_blocks_.push_back(static_cast<uint32_t>(victim));
+  stats_.gc_erases++;
+  Pm().gc_erases.Inc();
+  return Status::OK();
+}
+
+void PageFtl::EncodeOobEntry(uint8_t* entry, Lba lba, uint64_t seq,
+                             uint32_t data_crc) const {
+  EncodeU16(entry, kOobMagic);
+  EncodeU64(entry + 2, lba);
+  EncodeU64(entry + 10, seq);
+  EncodeU32(entry + 18, data_crc);
+  EncodeU32(entry + kEntryCrcOffset, Crc32c(entry, kEntryCrcOffset));
+}
+
+bool PageFtl::DecodeOobEntry(const uint8_t* entry, Lba* lba, uint64_t* seq,
+                             uint32_t* data_crc) const {
+  if (DecodeU16(entry) != kOobMagic) return false;
+  if (DecodeU32(entry + kEntryCrcOffset) != Crc32c(entry, kEntryCrcOffset)) {
+    return false;
+  }
+  *lba = DecodeU64(entry + 2);
+  *seq = DecodeU64(entry + 10);
+  *data_crc = DecodeU32(entry + 18);
+  return true;
+}
+
+Status PageFtl::ProgramMapped(flash::Ppn ppn, uint32_t block_idx, Lba lba,
+                              const uint8_t* data, flash::IoTiming* t,
+                              bool sync) {
+  const auto& g = device_->geometry();
+  uint8_t entry[kOobEntryBytes];
+  // The sequence number is consumed even when the program tears: a retry
+  // after recovery must outrank whatever the torn attempt left on media.
+  EncodeOobEntry(entry, lba, write_seq_++, Crc32c(data, g.page_size));
+  IPA_RETURN_NOT_OK(
+      device_->ProgramPage(ppn, data, entry, kOobEntryBytes, t, sync));
+  blocks_[block_idx].last_write = device_->clock().Now();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Host commands
+// ---------------------------------------------------------------------------
+
+Status PageFtl::ReadPage(Lba lba, uint8_t* out) {
+  const auto& g = device_->geometry();
+  if (lba >= map_.size()) return Status::InvalidArgument("lba out of range");
+  stats_.host_reads++;
+  flash::Ppn ppn = map_[lba];
+  if (ppn == flash::kInvalidPpn) {
+    std::memset(out, 0xFF, g.page_size);
+    return Status::OK();
+  }
+  flash::IoTiming t;
+  IPA_RETURN_NOT_OK(device_->ReadPage(ppn, out, &t, true));
+  stats_.read_latency.Add(t.LatencyUs());
+  Pm().host_reads.Inc();
+  Pm().read_latency.Record(t.LatencyUs());
+  return Status::OK();
+}
+
+Status PageFtl::WritePage(Lba lba, const uint8_t* data, bool sync) {
+  const auto& g = device_->geometry();
+  if (lba >= map_.size()) return Status::InvalidArgument("lba out of range");
+  IPA_RETURN_NOT_OK(RunGcIfNeeded());
+
+  flash::Ppn ppn;
+  uint32_t bidx;
+  IPA_RETURN_NOT_OK(AllocatePage(&ppn, &bidx, /*for_gc=*/false));
+  flash::IoTiming t;
+  IPA_RETURN_NOT_OK(ProgramMapped(ppn, bidx, lba, data, &t, sync));
+
+  flash::Ppn old = map_[lba];
+  if (old != flash::kInvalidPpn) Invalidate(old);
+  map_[lba] = ppn;
+  size_t ridx = static_cast<size_t>(bidx) * g.pages_per_block +
+                (ppn % g.pages_per_block);
+  rmap_[ridx] = lba;
+  blocks_[bidx].valid++;
+
+  stats_.host_page_writes++;
+  stats_.write_latency.Add(t.LatencyUs());
+  Pm().host_page_writes.Inc();
+  Pm().map_updates.Inc();
+  Pm().write_latency.Record(t.LatencyUs());
+  return Status::OK();
+}
+
+Status PageFtl::WriteDelta(Lba, uint32_t, const uint8_t*, uint32_t, bool) {
+  return Status::NotSupported(
+      "page-mapping FTL relocates on every write; no in-place appends");
+}
+
+bool PageFtl::DeltaWritePossible(Lba) const { return false; }
+
+bool PageFtl::IsMapped(Lba lba) const {
+  return lba < map_.size() && map_[lba] != flash::kInvalidPpn;
+}
+
+flash::Ppn PageFtl::PhysicalOf(Lba lba) const {
+  return lba < map_.size() ? map_[lba] : flash::kInvalidPpn;
+}
+
+Status PageFtl::Trim(Lba lba) {
+  if (lba >= map_.size()) return Status::InvalidArgument("lba out of range");
+  flash::Ppn old = map_[lba];
+  if (old != flash::kInvalidPpn) {
+    Invalidate(old);
+    map_[lba] = flash::kInvalidPpn;
+    Pm().trims.Inc();
+    Pm().map_updates.Inc();
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Mount: rebuild the L2P map from the on-media reverse map
+// ---------------------------------------------------------------------------
+
+Status PageFtl::Mount(MountScanReport* report) {
+  IPA_TRACE_SPAN("pageftl.mount", &device_->clock());
+  const auto& g = device_->geometry();
+  MountScanReport rep;
+
+  // Discard all RAM mapping state; media is the only source of truth.
+  map_.assign(config_.logical_pages, flash::kInvalidPpn);
+  rmap_.assign(rmap_.size(), kInvalidLba);
+  free_blocks_.clear();
+  active_by_chip_.assign(g.total_chips(), -1);
+  SimTime now = device_->clock().Now();
+
+  // Latest-wins winner per lba, resolved by on-media sequence number.
+  std::vector<uint64_t> win_seq(config_.logical_pages, 0);
+  uint64_t max_seq = 0;
+  std::vector<uint8_t> oob(g.oob_size);
+  std::vector<uint8_t> buf(g.page_size);
+
+  for (uint32_t b = 0; b < blocks_.size(); b++) {
+    BlockInfo& blk = blocks_[b];
+    bool has_content = false;
+    for (uint32_t page = 0; page < g.pages_per_block; page++) {
+      flash::Ppn ppn = blk.pbn * g.pages_per_block + page;
+      rep.pages_scanned++;
+      Pm().mount_pages_scanned.Inc();
+      IPA_RETURN_NOT_OK(device_->ReadOob(ppn, oob.data(), kOobEntryBytes));
+
+      Lba lba;
+      uint64_t seq;
+      uint32_t data_crc;
+      if (DecodeOobEntry(oob.data(), &lba, &seq, &data_crc)) {
+        has_content = true;
+        if (lba >= config_.logical_pages) continue;  // foreign/garbage entry
+        // A torn program can commit the OOB entry before the data: the body
+        // CRC is the arbiter. A mismatching page is stale garbage that GC
+        // reclaims with its block; the mapping entry is simply not believed.
+        IPA_RETURN_NOT_OK(device_->ReadPage(ppn, buf.data(), nullptr, false));
+        if (Crc32c(buf.data(), g.page_size) != data_crc) {
+          rep.torn_pages_quarantined++;
+          stats_.torn_pages_quarantined++;
+          Pm().mount_torn_quarantined.Inc();
+          continue;
+        }
+        max_seq = std::max(max_seq, seq);
+        if (map_[lba] != flash::kInvalidPpn && win_seq[lba] >= seq) continue;
+        map_[lba] = ppn;
+        win_seq[lba] = seq;
+      } else {
+        // No verifiable entry. The page may still hold torn content —
+        // detectable by a non-erased OOB prefix or data byte.
+        bool oob_blank = true;
+        for (uint32_t i = 0; i < kOobEntryBytes; i++) {
+          if (oob[i] != 0xFF) {
+            oob_blank = false;
+            break;
+          }
+        }
+        if (!oob_blank) {
+          has_content = true;
+        } else {
+          IPA_RETURN_NOT_OK(device_->ReadPage(ppn, buf.data(), nullptr, false));
+          for (uint32_t i = 0; i < g.page_size; i++) {
+            if (buf[i] != 0xFF) {
+              has_content = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Content-bearing blocks are closed for writing (full frontier) until GC
+    // reclaims them; content-erased blocks may still carry charge from a
+    // torn program, so they are re-erased lazily before first use.
+    blk.is_active = false;
+    blk.valid = 0;  // recomputed from the winners below
+    blk.last_write = now;
+    if (has_content) {
+      blk.is_free = false;
+      blk.needs_erase = false;
+      blk.next_page = g.pages_per_block;
+    } else {
+      blk.is_free = true;
+      blk.needs_erase = true;
+      blk.next_page = 0;
+      free_blocks_.push_back(b);
+    }
+  }
+
+  for (Lba lba = 0; lba < map_.size(); lba++) {
+    flash::Ppn ppn = map_[lba];
+    if (ppn == flash::kInvalidPpn) continue;
+    uint32_t bidx = BlockIndexOf(ppn);
+    size_t ridx = static_cast<size_t>(bidx) * g.pages_per_block +
+                  (ppn % g.pages_per_block);
+    rmap_[ridx] = lba;
+    blocks_[bidx].valid++;
+  }
+  write_seq_ = max_seq + 1;
+
+  if (report) *report = rep;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Audit (differential-checker oracle)
+// ---------------------------------------------------------------------------
+
+Status PageFtl::Audit() const {
+  const auto& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  auto fail = [&](const std::string& what) {
+    return Status::Corruption("page FTL '" + config_.name + "' audit: " + what);
+  };
+
+  // Forward map: every mapped lba must land on programmed media inside a
+  // non-free owned block, below the write frontier, with a matching
+  // reverse-map entry and a verifiable OOB entry naming this lba.
+  std::vector<uint8_t> oob(g.oob_size);
+  for (Lba lba = 0; lba < map_.size(); lba++) {
+    flash::Ppn ppn = map_[lba];
+    if (ppn == flash::kInvalidPpn) continue;
+    std::string at = "lba " + std::to_string(lba);
+    uint32_t bidx = BlockIndexOf(ppn);
+    if (bidx == UINT32_MAX) return fail(at + " maps outside the FTL's blocks");
+    const BlockInfo& blk = blocks_[bidx];
+    if (blk.is_free) return fail(at + " maps into a free block");
+    uint32_t page = static_cast<uint32_t>(ppn % ppb);
+    if (page >= blk.next_page) {
+      return fail(at + " maps beyond the write frontier");
+    }
+    if (rmap_[static_cast<size_t>(bidx) * ppb + page] != lba) {
+      return fail(at + " has no matching reverse-map entry");
+    }
+    const flash::PageState& ps = device_->page_state(ppn);
+    if (ps.IsErased()) return fail(at + " maps to erased media");
+    if (ps.oob.size() < kOobEntryBytes) {
+      return fail(at + " has no OOB reverse-map entry");
+    }
+    Lba oob_lba;
+    uint64_t oob_seq;
+    uint32_t data_crc;
+    if (!DecodeOobEntry(ps.oob.data(), &oob_lba, &oob_seq, &data_crc)) {
+      return fail(at + " has a torn OOB reverse-map entry");
+    }
+    if (oob_lba != lba) {
+      return fail(at + " OOB entry names lba " + std::to_string(oob_lba));
+    }
+    if (oob_seq >= write_seq_) {
+      return fail(at + " OOB sequence number is ahead of the allocator");
+    }
+  }
+
+  // Reverse map and per-block counters.
+  for (uint32_t b = 0; b < blocks_.size(); b++) {
+    const BlockInfo& blk = blocks_[b];
+    std::string at = "block " + std::to_string(b);
+    if (blk.next_page > ppb) return fail(at + " frontier beyond the block");
+    uint32_t rmap_valid = 0;
+    for (uint32_t p = 0; p < ppb; p++) {
+      Lba lba = rmap_[static_cast<size_t>(b) * ppb + p];
+      if (lba == kInvalidLba) continue;
+      rmap_valid++;
+      if (lba >= map_.size() || map_[lba] != blk.pbn * ppb + p) {
+        return fail(at + " reverse-map entry is not mirrored in the map");
+      }
+    }
+    if (rmap_valid != blk.valid) {
+      return fail(at + " valid counter " + std::to_string(blk.valid) +
+                  " != reverse-map population " + std::to_string(rmap_valid));
+    }
+    if (blk.is_free) {
+      if (blk.valid != 0) return fail(at + " is free but holds valid pages");
+      if (blk.next_page != 0) {
+        return fail(at + " is free with a nonzero frontier");
+      }
+      if (blk.is_active) return fail(at + " is free and active");
+      // Blocks awaiting their lazy post-mount erase may hold torn remnants.
+      if (!blk.needs_erase) {
+        for (uint32_t p = 0; p < ppb; p++) {
+          if (!device_->page_state(blk.pbn * ppb + p).IsErased()) {
+            return fail(at + " is free but page " + std::to_string(p) +
+                        " is programmed");
+          }
+        }
+      }
+    } else if (blk.needs_erase) {
+      return fail(at + " is in use but still flagged for a lazy erase");
+    }
+  }
+
+  // Free list <-> free flag, exactly.
+  std::vector<bool> listed(blocks_.size(), false);
+  for (uint32_t idx : free_blocks_) {
+    if (idx >= blocks_.size()) return fail("free list entry out of range");
+    if (listed[idx]) return fail("block listed twice in the free list");
+    listed[idx] = true;
+    if (!blocks_[idx].is_free) {
+      return fail("free list references non-free block " + std::to_string(idx));
+    }
+  }
+  for (uint32_t b = 0; b < blocks_.size(); b++) {
+    if (blocks_[b].is_free && !listed[b]) {
+      return fail("free block " + std::to_string(b) +
+                  " is missing from the free list");
+    }
+  }
+
+  // Active blocks <-> active_by_chip.
+  std::vector<bool> active_listed(blocks_.size(), false);
+  for (int32_t a : active_by_chip_) {
+    if (a < 0) continue;
+    if (static_cast<size_t>(a) >= blocks_.size()) {
+      return fail("active_by_chip entry out of range");
+    }
+    active_listed[a] = true;
+    if (!blocks_[a].is_active) {
+      return fail("active_by_chip references non-active block " +
+                  std::to_string(a));
+    }
+  }
+  for (uint32_t b = 0; b < blocks_.size(); b++) {
+    if (blocks_[b].is_active && !active_listed[b]) {
+      return fail("active block " + std::to_string(b) +
+                  " is not registered in active_by_chip");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ipa::ftl

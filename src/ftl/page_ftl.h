@@ -1,0 +1,166 @@
+// PageFtl: a conventional page-mapping FTL — the paper's implicit baseline.
+//
+// The paper argues IPA-over-NoFTL against the "cooked device" status quo:
+// a black-box FTL that maps every logical page independently, writes
+// strictly out-of-place at a log-structured frontier, and pays write
+// amplification through garbage collection. This class implements that
+// baseline over the same FlashArray so bench_table12_backend_compare can
+// measure the comparison instead of asserting it.
+//
+// Mechanics (Dayan & Bonnet's page-mapping FTL survey):
+//  * in-RAM L2P map (lba -> ppn) plus a reverse map for GC;
+//  * per-chip active blocks; host writes round-robin across chips;
+//  * every program carries a 26-byte OOB reverse-map entry
+//    (magic, lba, monotonic sequence number, CRC of the page body, CRC of
+//    the entry itself), so Mount() can rebuild the whole L2P map from media
+//    with latest-wins-by-sequence semantics after a power loss;
+//  * configurable over-provisioning and two GC victim-selection policies:
+//    greedy (most reclaimable pages) and cost-benefit ((1-u)/(1+u) * age).
+//
+// write_delta is structurally impossible here — the FTL relocates pages on
+// every write and its ECC covers whole pages — so WriteDelta returns
+// NotSupported and DeltaWritePossible is always false. That asymmetry IS the
+// measurement: see docs/FTL_BACKENDS.md.
+//
+// Crash semantics: RAM state dies with power; Mount() trusts only OOB
+// entries whose entry CRC verifies and whose data CRC matches the page body
+// (a torn program that committed its OOB before its data is detected and
+// quarantined). Blocks whose content survived are closed for writing until
+// GC reclaims them; content-erased blocks are lazily re-erased before first
+// use, because a torn program can leave invisible charge on erased-looking
+// cells. Trim() only drops the RAM mapping — the OOB entry stays on media,
+// so a trimmed page may resurrect at the next Mount() (trim is advisory
+// across power loss, as the FtlBackend contract allows).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/flash_array.h"
+#include "ftl/ftl_backend.h"
+
+namespace ipa::ftl {
+
+/// GC victim selection policy (Dayan & Bonnet).
+enum class GcPolicy {
+  kGreedy,       ///< Most reclaimable (written-but-invalid) pages.
+  kCostBenefit,  ///< max (1-u)/(1+u) * age; favors cold, mostly-invalid blocks.
+};
+
+const char* GcPolicyName(GcPolicy p);
+
+struct PageFtlConfig {
+  std::string name = "pageftl";
+  /// Host-visible capacity in logical pages.
+  uint64_t logical_pages = 0;
+  /// Fraction of extra physical space beyond logical capacity.
+  double over_provisioning = 0.10;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  /// Run the garbage collector when free blocks drop below this count.
+  uint32_t gc_free_block_threshold = 3;
+};
+
+class PageFtl : public FtlBackend {
+ public:
+  /// Bytes of one OOB reverse-map entry (must fit the geometry's oob_size).
+  static constexpr uint32_t kOobEntryBytes = 26;
+
+  /// Claims physical blocks from the front of every chip. Fails when the
+  /// device is too small for logical_pages * (1 + over_provisioning) plus GC
+  /// headroom, or its OOB area cannot hold a reverse-map entry. The device
+  /// must outlive the PageFtl and must not be shared with another FTL.
+  static Result<std::unique_ptr<PageFtl>> Create(flash::FlashArray* device,
+                                                 const PageFtlConfig& config);
+
+  // -- PageDevice -------------------------------------------------------------
+  Status ReadPage(Lba lba, uint8_t* out) override;
+  Status WritePage(Lba lba, const uint8_t* data, bool sync) override;
+  Status WriteDelta(Lba lba, uint32_t offset, const uint8_t* bytes,
+                    uint32_t len, bool sync) override;
+  bool DeltaWritePossible(Lba lba) const override;
+  bool IsMapped(Lba lba) const override;
+  uint32_t page_size() const override { return device_->geometry().page_size; }
+  uint64_t capacity_pages() const override { return config_.logical_pages; }
+
+  // -- FtlBackend management plane --------------------------------------------
+  const char* backend_name() const override { return "pageftl"; }
+  Status Trim(Lba lba) override;
+  /// Discard all RAM state and rebuild the L2P map from the OOB reverse-map
+  /// entries (latest wins by sequence number; data-CRC mismatches are
+  /// quarantined). Idempotent; also legal on a freshly created FTL.
+  Status Mount(MountScanReport* report = nullptr) override;
+  Status Audit() const override;
+  const RegionStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = RegionStats{}; }
+
+  // -- Maintenance / introspection --------------------------------------------
+  /// Run one GC pass unconditionally (fuzzer maintenance op). OK when no
+  /// victim qualifies.
+  Status CollectOnce();
+
+  const PageFtlConfig& config() const { return config_; }
+  flash::FlashArray& device() { return *device_; }
+  SimClock& clock() { return device_->clock(); }
+  /// Physical page currently backing `lba` (tests / introspection).
+  flash::Ppn PhysicalOf(Lba lba) const;
+  size_t free_block_count() const { return free_blocks_.size(); }
+
+ private:
+  struct BlockInfo {
+    flash::Pbn pbn = 0;
+    uint32_t valid = 0;      ///< Valid (mapped) pages in this block.
+    uint32_t next_page = 0;  ///< Write frontier (page index within block).
+    bool is_free = true;
+    bool is_active = false;
+    /// A free block whose physical erase state is unknown (after Mount):
+    /// erased lazily when promoted to active.
+    bool needs_erase = false;
+    /// Last program into this block (cost-benefit GC age); RAM-only.
+    SimTime last_write = 0;
+  };
+
+  PageFtl(flash::FlashArray* device, const PageFtlConfig& config);
+
+  Status ClaimBlocks();
+  /// Allocate the next frontier page, promoting (and lazily erasing) free
+  /// blocks as needed. Host allocations keep one free block in reserve for
+  /// GC migration headroom.
+  Status AllocatePage(flash::Ppn* ppn, uint32_t* block_idx, bool for_gc);
+  Status RunGcIfNeeded();
+  Status GarbageCollect();
+  /// Victim block index for the configured policy; -1 when none qualifies.
+  int PickVictim() const;
+  void Invalidate(flash::Ppn ppn);
+  uint32_t BlockIndexOf(flash::Ppn ppn) const;
+
+  /// Program `data` to `ppn` with a fresh reverse-map OOB entry for `lba`.
+  Status ProgramMapped(flash::Ppn ppn, uint32_t block_idx, Lba lba,
+                       const uint8_t* data, flash::IoTiming* t, bool sync);
+  void EncodeOobEntry(uint8_t* entry, Lba lba, uint64_t seq,
+                      uint32_t data_crc) const;
+  /// Decode + verify the entry CRC; false for erased/torn/foreign OOB.
+  bool DecodeOobEntry(const uint8_t* entry, Lba* lba, uint64_t* seq,
+                      uint32_t* data_crc) const;
+
+  flash::FlashArray* device_;
+  PageFtlConfig config_;
+  std::vector<BlockInfo> blocks_;      // all blocks owned by the FTL
+  std::vector<uint32_t> free_blocks_;  // indices into `blocks_`
+  /// Device pbn -> index into `blocks_`; UINT32_MAX for unowned blocks.
+  std::vector<uint32_t> pbn_to_idx_;
+  /// Active (frontier) block index per chip; -1 if none.
+  std::vector<int32_t> active_by_chip_;
+  uint32_t rr_cursor_ = 0;  // round-robin chip cursor
+  std::vector<flash::Ppn> map_;  // lba -> ppn
+  /// Reverse map: block_idx * pages_per_block + page -> lba.
+  std::vector<Lba> rmap_;
+  uint64_t write_seq_ = 0;  ///< Monotonic, consumed per program attempt.
+  RegionStats stats_;
+};
+
+}  // namespace ipa::ftl

@@ -5,11 +5,21 @@
 
 namespace ipa::workload {
 
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kNoFtl: return "noftl";
+    case Backend::kPageFtlGreedy: return "pageftl-greedy";
+    case Backend::kPageFtlCostBenefit: return "pageftl-cb";
+  }
+  return "?";
+}
+
 Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config) {
   if (config.db_pages == 0) {
     return Status::InvalidArgument("TestbedConfig.db_pages must be set");
   }
   bool openssd = config.profile != Profile::kEmulatorSlc;
+  bool page_ftl = config.backend != Backend::kNoFtl;
 
   uint64_t logical_pages = static_cast<uint64_t>(
       static_cast<double>(config.db_pages) * config.growth_headroom);
@@ -47,6 +57,42 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config) {
 
   auto bed = std::make_unique<Testbed>();
   bed->dev = std::make_unique<flash::FlashArray>(g, flash::TimingFor(g.cell_type));
+
+  engine::EngineConfig ec;
+  ec.page_size = config.page_size;
+  uint64_t buffer_pages = static_cast<uint64_t>(
+      static_cast<double>(config.db_pages) * config.buffer_fraction);
+  buffer_pages = std::max(buffer_pages, config.min_buffer_pages);
+  ec.buffer_pages = static_cast<uint32_t>(buffer_pages);
+  bed->buffer_pages = buffer_pages;
+  ec.dirty_flush_threshold = config.dirty_flush_threshold;
+  ec.log_reclaim_threshold = config.log_reclaim_threshold;
+  ec.log_capacity_bytes = config.log_capacity_bytes;
+  ec.record_update_sizes = config.record_update_sizes;
+  ec.record_io_trace = config.record_io_trace;
+
+  if (page_ftl) {
+    // Cooked-device stack: the engine sees a plain logical block space with
+    // no write_delta, so the [NxM] scheme is forced off — that asymmetry is
+    // exactly what bench_table12_backend_compare measures.
+    ftl::PageFtlConfig pc;
+    pc.name = "db";
+    pc.logical_pages = logical_pages;
+    pc.over_provisioning = config.over_provisioning;
+    pc.gc_policy = config.backend == Backend::kPageFtlGreedy
+                       ? ftl::GcPolicy::kGreedy
+                       : ftl::GcPolicy::kCostBenefit;
+    IPA_ASSIGN_OR_RETURN(bed->pageftl,
+                         ftl::PageFtl::Create(bed->dev.get(), pc));
+    bed->backend = bed->pageftl.get();
+    bed->db = std::make_unique<engine::Database>(nullptr, ec,
+                                                 &bed->dev->clock());
+    auto ts = bed->db->CreateTablespaceOn("db", bed->pageftl.get(), {});
+    IPA_RETURN_NOT_OK(ts.status());
+    bed->ts = ts.value();
+    return bed;
+  }
+
   bed->noftl = std::make_unique<ftl::NoFtl>(bed->dev.get());
 
   ftl::RegionConfig rc;
@@ -82,19 +128,7 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config) {
   auto region = bed->noftl->CreateRegion(rc);
   IPA_RETURN_NOT_OK(region.status());
   bed->region = region.value();
-
-  engine::EngineConfig ec;
-  ec.page_size = config.page_size;
-  uint64_t buffer_pages = static_cast<uint64_t>(
-      static_cast<double>(config.db_pages) * config.buffer_fraction);
-  buffer_pages = std::max(buffer_pages, config.min_buffer_pages);
-  ec.buffer_pages = static_cast<uint32_t>(buffer_pages);
-  bed->buffer_pages = buffer_pages;
-  ec.dirty_flush_threshold = config.dirty_flush_threshold;
-  ec.log_reclaim_threshold = config.log_reclaim_threshold;
-  ec.log_capacity_bytes = config.log_capacity_bytes;
-  ec.record_update_sizes = config.record_update_sizes;
-  ec.record_io_trace = config.record_io_trace;
+  bed->backend = bed->noftl->region_device(bed->region);
   bed->db = std::make_unique<engine::Database>(bed->noftl.get(), ec);
 
   auto ts = bed->db->CreateTablespace("db", bed->region, config.scheme);

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "engine/database.h"
+#include "ftl/page_ftl.h"
 #include "workload/workload.h"
 
 namespace ipa::workload {
@@ -24,8 +25,20 @@ enum class Profile {
   kOpenSsdNoIpa,  ///< OpenSSD baseline [0x0] (MLC, no IPA).
 };
 
+/// Which FTL stack backs the tablespace (docs/FTL_BACKENDS.md).
+enum class Backend {
+  kNoFtl,              ///< DBMS-managed region; IPA per the profile/scheme.
+  kPageFtlGreedy,      ///< Conventional page-mapping FTL, greedy GC.
+  kPageFtlCostBenefit, ///< Conventional page-mapping FTL, cost-benefit GC.
+};
+
+const char* BackendName(Backend b);
+
 struct TestbedConfig {
   Profile profile = Profile::kEmulatorSlc;
+  /// Page-FTL backends force scheme = {} (a cooked device cannot take
+  /// in-place appends) and ignore IPA-specific profile settings.
+  Backend backend = Backend::kNoFtl;
   uint32_t page_size = 4096;
   /// The [NxM] scheme; {} ([0x0]) disables IPA.
   storage::Scheme scheme = {};
@@ -48,16 +61,21 @@ struct TestbedConfig {
 
 struct Testbed {
   std::unique_ptr<flash::FlashArray> dev;
-  std::unique_ptr<ftl::NoFtl> noftl;
+  std::unique_ptr<ftl::NoFtl> noftl;      ///< Backend::kNoFtl stacks only.
+  std::unique_ptr<ftl::PageFtl> pageftl;  ///< Page-FTL stacks only.
+  /// The tablespace's backend, whichever stack is active.
+  ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;
   engine::TablespaceId ts = 0;
   ftl::RegionId region = 0;
   uint64_t buffer_pages = 0;
 
   TablespaceMap ts_map() const { return SingleTablespace(ts); }
-  const ftl::RegionStats& region_stats() const {
-    return noftl->region_stats(region);
-  }
+  SimClock& clock() { return dev->clock(); }
+  const ftl::RegionStats& backend_stats() const { return backend->stats(); }
+  void ResetBackendStats() { backend->ResetStats(); }
+  /// Backward-compatible alias for NoFtl-era callers.
+  const ftl::RegionStats& region_stats() const { return backend->stats(); }
 };
 
 Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config);

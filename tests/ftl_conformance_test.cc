@@ -1,0 +1,285 @@
+// FtlBackend conformance suite: every backend (NoFTL region device, PageFtl
+// under either GC policy) must honor the same host-visible contract —
+// fresh pages read erased, writes round-trip, trim drops the mapping,
+// out-of-range LBAs are rejected, data survives GC pressure and power
+// cycles, Mount() is idempotent, a torn write resolves to old-or-new, and
+// Audit() holds after every step. Backend-specific behavior (write_delta
+// availability) is probed through the capability API, never assumed.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.h"
+#include "flash/timing.h"
+#include "ftl/ftl_backend.h"
+#include "ftl/noftl.h"
+#include "ftl/page_ftl.h"
+#include "storage/page_format.h"
+
+namespace ipa {
+namespace {
+
+enum class Kind { kNoFtlRegion, kPageFtlGreedy, kPageFtlCostBenefit };
+
+constexpr uint64_t kLogicalPages = 64;
+
+/// One backend over its own private device.
+struct Stack {
+  std::unique_ptr<flash::FlashArray> dev;
+  std::unique_ptr<ftl::NoFtl> noftl;
+  std::unique_ptr<ftl::PageFtl> pageftl;
+  ftl::FtlBackend* backend = nullptr;
+  // Host-writable prefix of a page image. An IPA region reserves the page
+  // tail for the delta area, which must leave the host as erased 0xFF bytes;
+  // a cooked page-mapping FTL exposes the full page.
+  uint32_t data_bytes = 0;
+};
+
+flash::Geometry Geo() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 48;
+  g.pages_per_block = 16;
+  g.page_size = 2048;
+  g.oob_size = 128;
+  return g;
+}
+
+Stack MakeStack(Kind kind) {
+  Stack s;
+  s.dev = std::make_unique<flash::FlashArray>(Geo(), flash::SlcTiming());
+  if (kind == Kind::kNoFtlRegion) {
+    s.noftl = std::make_unique<ftl::NoFtl>(s.dev.get());
+    storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+    ftl::RegionConfig rc;
+    rc.name = "conformance";
+    rc.logical_pages = kLogicalPages;
+    rc.ipa_mode = ftl::IpaMode::kSlc;
+    rc.delta_area_offset = Geo().page_size - scheme.AreaBytes();
+    rc.manage_ecc = true;
+    auto r = s.noftl->CreateRegion(rc);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    s.backend = s.noftl->region_device(r.value());
+    s.data_bytes = rc.delta_area_offset;
+  } else {
+    ftl::PageFtlConfig pc;
+    pc.name = "conformance";
+    pc.logical_pages = kLogicalPages;
+    pc.gc_policy = kind == Kind::kPageFtlGreedy ? ftl::GcPolicy::kGreedy
+                                                : ftl::GcPolicy::kCostBenefit;
+    auto r = ftl::PageFtl::Create(s.dev.get(), pc);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    s.pageftl = std::move(r).value();
+    s.backend = s.pageftl.get();
+    s.data_bytes = Geo().page_size;
+  }
+  return s;
+}
+
+std::vector<uint8_t> Pattern(uint64_t tag, uint32_t n) {
+  std::vector<uint8_t> v(n);
+  for (uint32_t i = 0; i < n; i++) {
+    v[i] = static_cast<uint8_t>(tag * 31 + i * 7 + 1);
+  }
+  return v;
+}
+
+class FtlConformance : public ::testing::TestWithParam<Kind> {
+ protected:
+  void SetUp() override {
+    stack_ = MakeStack(GetParam());
+    ASSERT_NE(stack_.backend, nullptr);
+  }
+
+  ftl::FtlBackend& b() { return *stack_.backend; }
+  flash::FlashArray& dev() { return *stack_.dev; }
+  uint32_t page_size() { return b().page_size(); }
+
+  // A full-page host image: deterministic pattern in the host-writable
+  // prefix, erased 0xFF in any reserved tail (the IPA delta area).
+  std::vector<uint8_t> Image(uint64_t tag) {
+    std::vector<uint8_t> v(page_size(), 0xFF);
+    std::vector<uint8_t> p = Pattern(tag, stack_.data_bytes);
+    std::copy(p.begin(), p.end(), v.begin());
+    return v;
+  }
+
+  Stack stack_;
+};
+
+TEST_P(FtlConformance, FreshPagesReadErasedAndUnmapped) {
+  std::vector<uint8_t> buf(page_size());
+  for (ftl::Lba lba : {ftl::Lba{0}, ftl::Lba{7}, kLogicalPages - 1}) {
+    EXPECT_FALSE(b().IsMapped(lba));
+    ASSERT_TRUE(b().ReadPage(lba, buf.data()).ok());
+    EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                            [](uint8_t x) { return x == 0xFF; }))
+        << "lba " << lba;
+  }
+  EXPECT_TRUE(b().Audit().ok());
+}
+
+TEST_P(FtlConformance, WriteReadRoundtripAndOverwrite) {
+  std::vector<uint8_t> a = Image(1);
+  std::vector<uint8_t> c = Image(2);
+  std::vector<uint8_t> buf(page_size());
+
+  ASSERT_TRUE(b().WritePage(3, a.data(), true).ok());
+  EXPECT_TRUE(b().IsMapped(3));
+  ASSERT_TRUE(b().ReadPage(3, buf.data()).ok());
+  EXPECT_EQ(buf, a);
+  EXPECT_TRUE(b().Audit().ok());
+
+  ASSERT_TRUE(b().WritePage(3, c.data(), true).ok());
+  ASSERT_TRUE(b().ReadPage(3, buf.data()).ok());
+  EXPECT_EQ(buf, c);
+  EXPECT_TRUE(b().Audit().ok());
+  EXPECT_EQ(b().stats().host_page_writes, 2u);
+}
+
+TEST_P(FtlConformance, OutOfRangeLbaRejected) {
+  std::vector<uint8_t> buf(page_size(), 0);
+  EXPECT_TRUE(b().ReadPage(kLogicalPages, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(b().WritePage(kLogicalPages, buf.data(), true).IsInvalidArgument());
+  EXPECT_TRUE(b().Trim(kLogicalPages).IsInvalidArgument());
+  EXPECT_FALSE(b().IsMapped(kLogicalPages));
+  EXPECT_EQ(b().capacity_pages(), kLogicalPages);
+}
+
+TEST_P(FtlConformance, TrimDropsMappingAndReadsErased) {
+  std::vector<uint8_t> a = Image(3);
+  std::vector<uint8_t> buf(page_size());
+  ASSERT_TRUE(b().WritePage(5, a.data(), true).ok());
+  ASSERT_TRUE(b().Trim(5).ok());
+  EXPECT_FALSE(b().IsMapped(5));
+  ASSERT_TRUE(b().ReadPage(5, buf.data()).ok());
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                          [](uint8_t x) { return x == 0xFF; }));
+  EXPECT_TRUE(b().Audit().ok());
+  // Trimming an already-unmapped page is a no-op, not an error.
+  EXPECT_TRUE(b().Trim(5).ok());
+}
+
+TEST_P(FtlConformance, DeltaGatingMatchesCapability) {
+  std::vector<uint8_t> a = Image(4);
+  ASSERT_TRUE(b().WritePage(2, a.data(), true).ok());
+
+  // write_delta appends into the erased delta-area tail of the physical
+  // page (ISPP 1->0), so the target offset is the first delta-area byte.
+  uint32_t off = stack_.data_bytes;
+  std::vector<uint8_t> patch = Pattern(5, 4);
+  if (b().DeltaWritePossible(2)) {
+    // IPA-capable backend: the append must succeed and reads must serve the
+    // appended bytes in place.
+    ASSERT_TRUE(b().WriteDelta(2, off, patch.data(), 4, true).ok());
+    std::vector<uint8_t> buf(page_size());
+    ASSERT_TRUE(b().ReadPage(2, buf.data()).ok());
+    std::copy(patch.begin(), patch.end(), a.begin() + off);
+    EXPECT_EQ(buf, a);
+    EXPECT_EQ(b().stats().host_delta_writes, 1u);
+  } else {
+    // Cooked device: write_delta is structurally impossible, and the failure
+    // must be the advertised NotSupported (the buffer pool's fallback cue).
+    EXPECT_TRUE(b().WriteDelta(2, off, patch.data(), 4, true).IsNotSupported());
+    EXPECT_EQ(b().stats().host_delta_writes, 0u);
+  }
+  EXPECT_TRUE(b().Audit().ok());
+}
+
+TEST_P(FtlConformance, GcStormPreservesAllData) {
+  // Hammer a small working set until GC must run; every logical page keeps
+  // serving its latest image throughout.
+  constexpr ftl::Lba kHot = 8;
+  uint64_t round = 0;
+  for (; round < 120; round++) {
+    for (ftl::Lba lba = 0; lba < kHot; lba++) {
+      std::vector<uint8_t> img = Image(round * kHot + lba);
+      ASSERT_TRUE(b().WritePage(lba, img.data(), true).ok())
+          << "round " << round << " lba " << lba;
+    }
+  }
+  std::vector<uint8_t> buf(page_size());
+  for (ftl::Lba lba = 0; lba < kHot; lba++) {
+    ASSERT_TRUE(b().ReadPage(lba, buf.data()).ok());
+    EXPECT_EQ(buf, Image((round - 1) * kHot + lba)) << lba;
+  }
+  EXPECT_GT(b().stats().gc_erases, 0u) << "storm never triggered GC";
+  EXPECT_TRUE(b().Audit().ok());
+}
+
+TEST_P(FtlConformance, MountIsIdempotentAndPreservesAcrossPowerCycles) {
+  std::vector<std::vector<uint8_t>> want(6);
+  for (ftl::Lba lba = 0; lba < want.size(); lba++) {
+    want[lba] = Image(100 + lba);
+    ASSERT_TRUE(b().WritePage(lba, want[lba].data(), true).ok());
+  }
+
+  auto verify = [&] {
+    std::vector<uint8_t> buf(page_size());
+    for (ftl::Lba lba = 0; lba < want.size(); lba++) {
+      ASSERT_TRUE(b().ReadPage(lba, buf.data()).ok());
+      EXPECT_EQ(buf, want[lba]) << "lba " << lba;
+    }
+    EXPECT_TRUE(b().Audit().ok());
+  };
+
+  // Mount on a live, never-crashed backend is legal and changes nothing.
+  ftl::MountScanReport rep;
+  ASSERT_TRUE(b().Mount(&rep).ok());
+  EXPECT_EQ(rep.torn_pages_quarantined, 0u);
+  verify();
+
+  // Clean power cycle: RAM state is rebuilt purely from media.
+  dev().PowerCycle();
+  ASSERT_TRUE(b().Mount().ok());
+  verify();
+
+  // Mount twice in a row — the second scan must agree with the first.
+  ASSERT_TRUE(b().Mount().ok());
+  verify();
+}
+
+TEST_P(FtlConformance, TornWriteResolvesToOldOrNewImage) {
+  std::vector<uint8_t> oldimg = Image(7);
+  std::vector<uint8_t> newimg = Image(8);
+  ASSERT_TRUE(b().WritePage(9, oldimg.data(), true).ok());
+
+  // Arm the power-loss policy: the very next mutating flash op tears.
+  flash::PowerLossPolicy policy;
+  policy.inject_at_op = 0;
+  policy.seed = 0xC0FFEE;
+  dev().SetPowerLossPolicy(policy);
+  Status s = b().WritePage(9, newimg.data(), true);
+  EXPECT_FALSE(s.ok());  // power died mid-program
+
+  dev().PowerCycle();
+  dev().SetPowerLossPolicy(flash::PowerLossPolicy{});
+  ASSERT_TRUE(b().Mount().ok());
+  EXPECT_TRUE(b().Audit().ok());
+
+  std::vector<uint8_t> buf(page_size());
+  ASSERT_TRUE(b().ReadPage(9, buf.data()).ok());
+  EXPECT_TRUE(buf == oldimg || buf == newimg)
+      << "torn write must resolve to exactly the old or the new image";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FtlConformance,
+                         ::testing::Values(Kind::kNoFtlRegion,
+                                           Kind::kPageFtlGreedy,
+                                           Kind::kPageFtlCostBenefit),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kNoFtlRegion: return "NoFtlRegion";
+                             case Kind::kPageFtlGreedy: return "PageFtlGreedy";
+                             case Kind::kPageFtlCostBenefit:
+                               return "PageFtlCostBenefit";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace ipa

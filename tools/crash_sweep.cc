@@ -5,6 +5,7 @@
 // injection point fails verification.
 //
 // Knobs: --txns N --accounts N --points N (0 = every op index) --seed N
+//        --backend noftl|pageftl-greedy|pageftl-cb (FTL stack under test)
 //        --jobs N (0 = IPA_JOBS / hardware) --json PATH --metrics-json PATH
 // IPA_SCALE scales --txns (CI runs a downscaled sweep with IPA_SCALE=0.05).
 
@@ -61,6 +62,18 @@ int main(int argc, char** argv) {
   cfg.max_points = ArgU64(argc, argv, "--points", cfg.max_points);
   cfg.seed = ArgU64(argc, argv, "--seed", cfg.seed);
   cfg.jobs = static_cast<unsigned>(ArgU64(argc, argv, "--jobs", 0));
+  if (const char* b = ArgStr(argc, argv, "--backend")) {
+    if (std::strcmp(b, "noftl") == 0) {
+      cfg.backend = ipa::workload::Backend::kNoFtl;
+    } else if (std::strcmp(b, "pageftl-greedy") == 0) {
+      cfg.backend = ipa::workload::Backend::kPageFtlGreedy;
+    } else if (std::strcmp(b, "pageftl-cb") == 0) {
+      cfg.backend = ipa::workload::Backend::kPageFtlCostBenefit;
+    } else {
+      std::fprintf(stderr, "crash_sweep: unknown backend '%s'\n", b);
+      return 2;
+    }
+  }
 
   auto result = ipa::bench::RunCrashSweep(cfg);
   if (!result.ok()) {
