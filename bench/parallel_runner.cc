@@ -80,6 +80,30 @@ double MillisSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Process-wide worker budget. Threads spawned by ParallelFor — across every
+// concurrent and nested call in the process — never exceed Jobs(). A call
+// that finds the budget exhausted runs its loop on the calling thread, so
+// nesting degrades to serial execution instead of multiplying thread counts
+// (the pre-budget failure mode: a ParallelFor inside a ParallelFor worker
+// spawned jobs*jobs threads).
+std::atomic<unsigned> g_live_workers{0};
+
+unsigned ClaimWorkers(unsigned want) {
+  const unsigned budget = Jobs();
+  unsigned live = g_live_workers.load(std::memory_order_relaxed);
+  unsigned take;
+  do {
+    take = live < budget ? std::min(want, budget - live) : 0;
+    if (take == 0) return 0;
+  } while (!g_live_workers.compare_exchange_weak(live, live + take,
+                                                 std::memory_order_relaxed));
+  return take;
+}
+
+void ReleaseWorkers(unsigned n) {
+  g_live_workers.fetch_sub(n, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 unsigned Jobs() {
@@ -96,19 +120,24 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (jobs == 0) jobs = Jobs();
   unsigned workers =
       static_cast<unsigned>(std::min<size_t>(jobs, n == 0 ? 1 : n));
-  if (workers <= 1) {
+  // The calling thread always participates; only the extra threads draw from
+  // the process-wide budget. An exhausted budget (this call is nested inside
+  // another ParallelFor's worker) claims nothing and the loop runs inline.
+  unsigned extra = workers <= 1 ? 0 : ClaimWorkers(workers - 1);
+  if (extra == 0) {
     for (size_t i = 0; i < n; i++) fn(i);
     return;
   }
   std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
   std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; w++) {
-    pool.emplace_back([&] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
-    });
-  }
+  pool.reserve(extra);
+  for (unsigned w = 0; w < extra; w++) pool.emplace_back(work);
+  work();
   for (auto& t : pool) t.join();
+  ReleaseWorkers(extra);
 }
 
 std::vector<Result<RunResult>> RunMany(const std::vector<RunConfig>& configs,

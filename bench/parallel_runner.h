@@ -9,7 +9,13 @@
 // RunWorkload loop.
 //
 // Knobs (environment):
-//   IPA_JOBS        worker-thread count (default: hardware_concurrency)
+//   IPA_JOBS        process-wide thread budget (default:
+//                   hardware_concurrency). Shared by every concurrent and
+//                   nested ParallelFor/RunMany call: the runner never has
+//                   more than IPA_JOBS spawned worker threads alive at once,
+//                   no matter how calls nest (e.g. a bench arm that itself
+//                   fans out per-partition work). A call that finds the
+//                   budget exhausted runs inline on its calling thread.
 //   IPA_BENCH_JSON  path; when set, per-run and total wall-clock timings are
 //                   appended as machine-readable JSON at process exit (the
 //                   perf-trajectory baseline for future PRs)
@@ -24,16 +30,21 @@
 
 namespace ipa::bench {
 
-/// Worker threads used by RunMany: the IPA_JOBS environment variable when it
+/// The process-wide thread budget: the IPA_JOBS environment variable when it
 /// parses to >= 1, otherwise std::thread::hardware_concurrency() (min 1).
+/// ParallelFor never has more than this many spawned workers alive at once,
+/// summed across all concurrent calls.
 unsigned Jobs();
 
-/// Run fn(0), ..., fn(n-1) on the RunMany self-scheduling pool: workers claim
-/// the next unclaimed index, so one slow iteration does not serialize the
-/// rest. Every index completes before the call returns; completion order is
-/// unspecified, so callers wanting ordered results write into per-index
-/// slots. `jobs` == 0 means "use Jobs()"; one worker degenerates to an
-/// in-thread loop.
+/// Run fn(0), ..., fn(n-1) on a self-scheduling pool: workers claim the next
+/// unclaimed index, so one slow iteration does not serialize the rest. Every
+/// index completes before the call returns; completion order is unspecified,
+/// so callers wanting ordered results write into per-index slots.
+///
+/// The calling thread always participates; extra threads (up to `jobs` - 1)
+/// are drawn from the shared Jobs() budget, so concurrent or nested calls
+/// split the budget instead of multiplying it, and a call that gets nothing
+/// degenerates to an in-thread serial loop. `jobs` == 0 means "use Jobs()".
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  unsigned jobs = 0);
 

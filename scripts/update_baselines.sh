@@ -12,7 +12,8 @@ cd "$(dirname "$0")/.."
 
 BUILD=${1:-build}
 for bin in bench/bench_table02_ipl_vs_ipa bench/bench_table07_tpcb_emulator \
-           bench/bench_table12_backend_compare tools/crash_sweep; do
+           bench/bench_table12_backend_compare bench/bench_scaleup \
+           tools/crash_sweep; do
   if [ ! -x "$BUILD/$bin" ]; then
     echo "update_baselines: missing $BUILD/$bin (build it first)" >&2
     exit 2
@@ -31,6 +32,9 @@ echo "== table07_tpcb_emulator"
 echo "== table12_backend_compare"
 "$BUILD/bench/bench_table12_backend_compare" \
   --metrics-json bench/baselines/table12_backend_compare.json > /dev/null
+echo "== bench_scaleup"
+"$BUILD/bench/bench_scaleup" --workers 1,4 --min-speedup 3 \
+  --metrics-json bench/baselines/bench_scaleup.json > /dev/null
 echo "== crash_sweep"
 "$BUILD/tools/crash_sweep" --points 300 \
   --metrics-json bench/baselines/crash_sweep.json > /dev/null

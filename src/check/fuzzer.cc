@@ -12,6 +12,7 @@
 #include "common/crc32.h"
 #include "common/random.h"
 #include "engine/database.h"
+#include "engine/sharded_database.h"
 #include "flash/flash_array.h"
 #include "flash/timing.h"
 #include "ftl/noftl.h"
@@ -23,7 +24,8 @@ namespace ipa::check {
 namespace {
 
 constexpr const char* kScheduleNames[kNumSchedules] = {
-    "slc", "slc-noneager", "pslc", "oddmlc", "slc-noecc", "pageftl"};
+    "slc",       "slc-noneager", "pslc",   "oddmlc",
+    "slc-noecc", "pageftl",      "sharded"};
 
 constexpr const char* kKindNames[] = {
     "insert", "update",     "resize",     "delete", "read",      "commit",
@@ -48,6 +50,16 @@ struct Testbed {
   ftl::RegionId region = 0;
   engine::TablespaceId ts = 0;
   engine::TableId tables[2] = {0, 0};
+
+  /// kSharded only: one shared-nothing partition per chip pair.
+  struct ShardPart {
+    std::unique_ptr<engine::Database> db;
+    ftl::RegionId region = 0;
+    engine::TablespaceId ts = 0;
+    engine::TableId tables[2] = {0, 0};
+  };
+  std::vector<ShardPart> parts;
+  std::unique_ptr<engine::ShardedDatabase> sharded;
 
   Testbed(const flash::Geometry& g, const flash::TimingModel& t)
       : dev(g, t), noftl(&dev) {}
@@ -89,6 +101,43 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
         tb->ts, tb->db->CreateTablespaceOn("fuzz", tb->pageftl.get(), {}));
     IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
     IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
+    return tb;
+  }
+
+  if (s == Schedule::kSharded) {
+    // Two shared-nothing partitions, one channel (2 chips) each, composed
+    // behind a ShardedDatabase. Sequential driver: power-loss injection
+    // needs deterministic crash points (docs/SHARDING.md), and the oracles
+    // compare against one global model.
+    storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+    std::vector<engine::ShardedDatabase::Partition> sparts;
+    tb->parts.resize(2);
+    for (uint32_t p = 0; p < 2; p++) {
+      Testbed::ShardPart& part = tb->parts[p];
+      ftl::RegionConfig rc;
+      rc.name = std::string("sharded") + static_cast<char>('0' + p);
+      rc.logical_pages = 128;
+      rc.ipa_mode = ftl::IpaMode::kSlc;
+      rc.delta_area_offset = g.page_size - scheme.AreaBytes();
+      rc.manage_ecc = true;  // mount scans must scrub torn appends (6.2)
+      rc.chips = {2 * p, 2 * p + 1};
+      IPA_ASSIGN_OR_RETURN(part.region, tb->noftl.CreateRegion(rc));
+      engine::EngineConfig ec;
+      ec.page_size = g.page_size;
+      ec.buffer_pages = 12;
+      ec.log_capacity_bytes = 1 << 20;
+      ec.log_reclaim_threshold = 0.375;
+      part.db = std::make_unique<engine::Database>(&tb->noftl, ec);
+      IPA_ASSIGN_OR_RETURN(
+          part.ts, part.db->CreateTablespace("fuzz", part.region, scheme));
+      IPA_ASSIGN_OR_RETURN(part.tables[0],
+                           part.db->CreateTable("t0", part.ts));
+      IPA_ASSIGN_OR_RETURN(part.tables[1],
+                           part.db->CreateTable("t1", part.ts));
+      sparts.push_back({part.db.get(), nullptr});
+    }
+    tb->sharded = std::make_unique<engine::ShardedDatabase>(
+        std::move(sparts), &tb->dev, engine::ShardedDatabase::Config{});
     return tb;
   }
 
@@ -147,7 +196,7 @@ class Runner {
     // Wrap up: commit the open transaction, then crash once more so every
     // trace exercises recovery, then the final deep verification.
     size_t end = trace.size();
-    if (txn_ != engine::kInvalidTxn) {
+    if (txn_ != engine::kInvalidTxn || s_open_) {
       Op commit;
       commit.kind = Op::Kind::kCommit;
       Status s = Execute(commit);
@@ -157,7 +206,8 @@ class Runner {
     if (cfg_.final_crash) {
       model_.Crash();
       txn_ = engine::kInvalidTxn;
-      tb_->db->SimulateCrash();
+      s_open_ = false;
+      CrashEngine();
       tb_->dev.PowerCycle();
       Status s = RecoverLoop();
       if (s.ok()) s = DeepCheck(model_.committed());
@@ -166,7 +216,7 @@ class Runner {
     Status s = DeepCheck(model_.view());
     if (!s.ok()) return Fail(end, s);
 
-    const auto& rs = tb_->backend->stats();
+    const ftl::RegionStats rs = BackendStats();
     res_.torn_bytes = rs.torn_delta_bytes_dropped;
     res_.quarantined = rs.torn_pages_quarantined;
     res_.fingerprint = Fingerprint();
@@ -189,6 +239,22 @@ class Runner {
   }
 
   Status ScanAll(ModelDb::Map* got) {
+    if (Sharded()) {
+      // Model keys are global keys: the partition-local rid tagged with its
+      // partition (ShardedDatabase::PackGlobal), so the union of the
+      // per-partition scans is directly comparable to the model view.
+      for (uint32_t p = 0; p < tb_->parts.size(); p++) {
+        for (engine::TableId t : tb_->parts[p].tables) {
+          IPA_RETURN_NOT_OK(tb_->parts[p].db->Scan(
+              t, [&](engine::Rid rid, std::span<const uint8_t> bytes) {
+                (*got)[engine::ShardedDatabase::PackGlobal(p, rid)] =
+                    std::vector<uint8_t>(bytes.begin(), bytes.end());
+                return true;
+              }));
+        }
+      }
+      return Status::OK();
+    }
     for (engine::TableId t : tb_->tables) {
       IPA_RETURN_NOT_OK(tb_->db->Scan(
           t, [&](engine::Rid rid, std::span<const uint8_t> bytes) {
@@ -229,6 +295,57 @@ class Runner {
     return Status::Corruption("equivalence: scans diverge");
   }
 
+  bool Sharded() const { return cfg_.schedule == Schedule::kSharded; }
+
+  /// kSharded: one device serves both partitions' regions, so the
+  /// conservation oracle compares device counters against the per-layer sums.
+  ftl::RegionStats SumRegionStats() const {
+    ftl::RegionStats sum;
+    for (const auto& part : tb_->parts) {
+      const ftl::RegionStats& rs = tb_->noftl.region_stats(part.region);
+      sum.host_reads += rs.host_reads;
+      sum.host_page_writes += rs.host_page_writes;
+      sum.host_delta_writes += rs.host_delta_writes;
+      sum.delta_bytes_written += rs.delta_bytes_written;
+      sum.delta_fallbacks += rs.delta_fallbacks;
+      sum.gc_page_migrations += rs.gc_page_migrations;
+      sum.gc_erases += rs.gc_erases;
+      sum.ecc_corrected_bits += rs.ecc_corrected_bits;
+      sum.ecc_uncorrectable += rs.ecc_uncorrectable;
+      sum.torn_delta_bytes_dropped += rs.torn_delta_bytes_dropped;
+      sum.torn_pages_quarantined += rs.torn_pages_quarantined;
+      sum.scrub_refreshes += rs.scrub_refreshes;
+      sum.wear_level_migrations += rs.wear_level_migrations;
+      sum.wear_level_swaps += rs.wear_level_swaps;
+    }
+    return sum;
+  }
+
+  engine::BufferStats SumBufferStats() const {
+    engine::BufferStats sum;
+    for (const auto& part : tb_->parts) {
+      const engine::BufferStats& bs = part.db->buffer_pool().stats();
+      sum.fetches += bs.fetches;
+      sum.hits += bs.hits;
+      sum.misses += bs.misses;
+      sum.evictions += bs.evictions;
+      sum.flushes += bs.flushes;
+      sum.clean_diff_skips += bs.clean_diff_skips;
+      sum.ipa_flushes += bs.ipa_flushes;
+      sum.oop_flushes += bs.oop_flushes;
+      sum.ipa_fallbacks += bs.ipa_fallbacks;
+      sum.cleaner_runs += bs.cleaner_runs;
+      sum.delta_records_written += bs.delta_records_written;
+    }
+    return sum;
+  }
+
+  /// Backend stats for reporting/fingerprinting: the single region's, or the
+  /// per-partition sum under kSharded.
+  ftl::RegionStats BackendStats() const {
+    return Sharded() ? SumRegionStats() : tb_->backend->stats();
+  }
+
   /// Cheap per-op oracles.
   Status CheapCheck() {
     if (!tb_->dev.powered_on()) {
@@ -239,6 +356,10 @@ class Runner {
                                              tb_->backend->stats(),
                                              tb_->db->buffer_pool().stats());
     }
+    if (Sharded()) {
+      return CheckCounterConservation(tb_->dev.stats(), SumRegionStats(),
+                                      SumBufferStats());
+    }
     return CheckCounterConservation(tb_->dev.stats(),
                                     tb_->noftl.region_stats(tb_->region),
                                     tb_->db->buffer_pool().stats());
@@ -248,6 +369,14 @@ class Runner {
   Status DeepCheck(const ModelDb::Map& want) {
     IPA_RETURN_NOT_OK(CheckEquivalence(want));
     IPA_RETURN_NOT_OK(tb_->dev.AuditState());
+    if (Sharded()) {
+      for (const auto& part : tb_->parts) {
+        IPA_RETURN_NOT_OK(tb_->noftl.region_device(part.region)->Audit());
+        IPA_RETURN_NOT_OK(
+            AuditMappedDeltaAreas(tb_->dev, tb_->noftl, part.region));
+      }
+      return shadow_.ObserveAndCheck(tb_->dev);
+    }
     IPA_RETURN_NOT_OK(tb_->backend->Audit());
     if (cfg_.schedule != Schedule::kPageFtl) {
       // Delta areas only exist on NoFTL regions; behind a page-mapping FTL
@@ -276,14 +405,28 @@ class Runner {
         "unapplied outcome");
   }
 
+  void CrashEngine() {
+    if (Sharded()) {
+      tb_->sharded->SimulateCrash();
+    } else {
+      tb_->db->SimulateCrash();
+    }
+  }
+
+  Status RecoverEngine() {
+    return Sharded() ? tb_->sharded->RecoverAfterPowerLoss()
+                     : tb_->db->RecoverAfterPowerLoss();
+  }
+
   /// The crash protocol: discard staged state on both sides, then power-cycle
   /// and recover (possibly several times — a re-armed policy cuts power again
   /// *during* recovery), then verify the committed state deeply.
   Status HandleCrash() {
     model_.Crash();
     txn_ = engine::kInvalidTxn;
+    s_open_ = false;
     res_.crashes++;
-    tb_->db->SimulateCrash();
+    CrashEngine();
     tb_->dev.PowerCycle();
     IPA_RETURN_NOT_OK(RecoverLoop());
     return DeepCheck(model_.committed());
@@ -302,20 +445,21 @@ class Runner {
       } else {
         tb_->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
       }
-      Status s = tb_->db->RecoverAfterPowerLoss();
+      Status s = RecoverEngine();
       if (s.ok()) {
         tb_->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
         return Status::OK();
       }
       if (!s.IsUnavailable()) return s;
       res_.crashes++;  // double crash: power died during recovery
-      tb_->db->SimulateCrash();
+      CrashEngine();
       tb_->dev.PowerCycle();
     }
     return Status::Internal("recovery did not converge after 8 power cycles");
   }
 
   Status Execute(const Op& op) {
+    if (Sharded()) return ExecuteSharded(op);
     switch (op.kind) {
       case Op::Kind::kInsert: {
         EnsureTxn();
@@ -463,6 +607,208 @@ class Runner {
     return Status::Internal("unknown op kind");
   }
 
+  // -- kSharded session ------------------------------------------------------
+  //
+  // At most one transaction is open at a time: either a fast-path
+  // single-partition txn (3 in 4 sessions) or a cross-partition txn on the
+  // locking path. Fast sessions are homed on one partition and only touch its
+  // keys; cross sessions see the whole key space and open branches lazily.
+
+  void EnsureShardedTxn(const Op& op) {
+    if (s_open_) return;
+    s_open_ = true;
+    s_cross_ = (op.seed % 4) == 0;
+    if (s_cross_) {
+      s_cross_txn_ = tb_->sharded->BeginCross();
+    } else {
+      s_fast_ = tb_->sharded->Begin(static_cast<uint32_t>(op.seed >> 32) % 2);
+    }
+  }
+
+  engine::TxnId ShardedTxnFor(uint32_t p) {
+    return s_cross_ ? tb_->sharded->Branch(s_cross_txn_, p) : s_fast_.id;
+  }
+
+  /// Pick a live key eligible for the current session by rank: cross sessions
+  /// draw from every key, fast sessions only from their home partition's.
+  bool PickShardedKey(uint64_t draw, uint64_t* key) {
+    if (s_cross_) {
+      if (model_.LiveCount() == 0) return false;
+      *key = model_.KeyAt(draw % model_.LiveCount());
+      return true;
+    }
+    std::vector<uint64_t> keys;
+    for (const auto& [k, v] : model_.view()) {
+      if (engine::ShardedDatabase::PartitionOfGlobal(k) == s_fast_.part) {
+        keys.push_back(k);
+      }
+    }
+    if (keys.empty()) return false;
+    *key = keys[draw % keys.size()];
+    return true;
+  }
+
+  Status ShardedCommit() {
+    if (!s_open_) return Status::OK();
+    Status s = s_cross_ ? tb_->sharded->CommitCross(s_cross_txn_)
+                        : tb_->sharded->Commit(s_fast_);
+    // All commit records (every branch, in partition order, with no flash
+    // I/O in between) are forced before any maintenance runs, so the
+    // transaction is durable whatever Commit returns afterwards.
+    model_.CommitTxn();
+    res_.commits++;
+    s_open_ = false;
+    if (s.IsOutOfSpace()) return Status::OK();
+    return s;
+  }
+
+  Status ShardedAbort() {
+    if (!s_open_) return Status::OK();
+    Status s;
+    for (int i = 0; i < 4; i++) {
+      s = s_cross_ ? tb_->sharded->AbortCross(s_cross_txn_)
+                   : tb_->sharded->Abort(s_fast_);
+      if (!s.IsOutOfSpace()) break;  // CLR-protected: rollback restartable
+    }
+    if (s.ok()) {
+      model_.AbortTxn();
+      s_open_ = false;
+    }
+    return s;
+  }
+
+  Status ExecuteSharded(const Op& op) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        EnsureShardedTxn(op);
+        uint32_t p = s_cross_ ? static_cast<uint32_t>((op.a >> 32) % 2)
+                              : s_fast_.part;
+        engine::TableId table = tb_->parts[p].tables[op.a % 2];
+        std::vector<uint8_t> t = Payload(op.seed, 16 + op.b % 97);
+        auto r = tb_->parts[p].db->Insert(ShardedTxnFor(p), table, t);
+        if (r.ok()) {
+          model_.Insert(engine::ShardedDatabase::PackGlobal(p, r.value()),
+                        std::move(t));
+          return Status::OK();
+        }
+        if (r.status().IsOutOfSpace()) return ReconcileInsert(t);
+        return r.status();
+      }
+      case Op::Kind::kUpdate: {
+        EnsureShardedTxn(op);
+        uint64_t key;
+        if (!PickShardedKey(op.a, &key)) return Status::OK();
+        const auto* tuple = model_.Lookup(key);
+        uint32_t len32 = static_cast<uint32_t>(tuple->size());
+        uint32_t offset = static_cast<uint32_t>(op.b % len32);
+        uint32_t maxlen = std::min<uint32_t>(8, len32 - offset);
+        uint32_t len = 1 + static_cast<uint32_t>(op.c % maxlen);
+        std::vector<uint8_t> bytes = Payload(op.seed, len);
+        uint32_t p = engine::ShardedDatabase::PartitionOfGlobal(key);
+        Status s = tb_->parts[p].db->Update(
+            ShardedTxnFor(p), engine::ShardedDatabase::RidOfGlobal(key),
+            offset, bytes);
+        if (s.ok()) {
+          model_.Update(key, offset, bytes.data(), len);
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          return Reconcile(
+              [&](ModelDb& m) { m.Update(key, offset, bytes.data(), len); });
+        }
+        return s;
+      }
+      case Op::Kind::kUpdateResize: {
+        EnsureShardedTxn(op);
+        uint64_t key;
+        if (!PickShardedKey(op.a, &key)) return Status::OK();
+        std::vector<uint8_t> t = Payload(op.seed, 16 + op.b % 97);
+        uint32_t p = engine::ShardedDatabase::PartitionOfGlobal(key);
+        Status s = tb_->parts[p].db->UpdateResize(
+            ShardedTxnFor(p), engine::ShardedDatabase::RidOfGlobal(key), t);
+        if (s.ok()) {
+          model_.Replace(key, std::move(t));
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          return Reconcile([&](ModelDb& m) { m.Replace(key, t); });
+        }
+        return s;
+      }
+      case Op::Kind::kDelete: {
+        EnsureShardedTxn(op);
+        uint64_t key;
+        if (!PickShardedKey(op.a, &key)) return Status::OK();
+        uint32_t p = engine::ShardedDatabase::PartitionOfGlobal(key);
+        Status s = tb_->parts[p].db->Delete(
+            ShardedTxnFor(p), engine::ShardedDatabase::RidOfGlobal(key));
+        if (s.ok()) {
+          model_.Erase(key);
+          return Status::OK();
+        }
+        if (s.IsOutOfSpace()) {
+          return Reconcile([&](ModelDb& m) { m.Erase(key); });
+        }
+        return s;
+      }
+      case Op::Kind::kRead: {
+        EnsureShardedTxn(op);
+        uint64_t key;
+        if (!PickShardedKey(op.a, &key)) return Status::OK();
+        uint32_t p = engine::ShardedDatabase::PartitionOfGlobal(key);
+        auto r = tb_->parts[p].db->Read(
+            ShardedTxnFor(p), engine::ShardedDatabase::RidOfGlobal(key));
+        if (!r.ok()) {
+          if (r.status().IsOutOfSpace()) return Status::OK();
+          return r.status();
+        }
+        const auto* want = model_.Lookup(key);
+        if (r.value() != *want) {
+          return Status::Corruption("read divergence at tuple " +
+                                    std::to_string(key));
+        }
+        return Status::OK();
+      }
+      case Op::Kind::kCommit:
+        return ShardedCommit();
+      case Op::Kind::kAbort:
+        return ShardedAbort();
+      case Op::Kind::kScanCheck: {
+        Status s = CheckEquivalence(model_.view());
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kCheckpoint: {
+        Status s = tb_->sharded->Checkpoint();
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kScrub: {
+        Status s = tb_->noftl.ScrubRegion(tb_->parts[op.b % 2].region,
+                                          op.a % 4 == 0);
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kWearLevel: {
+        uint32_t spread = 2 + static_cast<uint32_t>(op.a % 6);
+        Status s =
+            tb_->noftl.WearLevelRegion(tb_->parts[op.b % 2].region, spread);
+        if (s.IsOutOfSpace()) return Status::OK();
+        return s;
+      }
+      case Op::Kind::kPowerCut: {
+        flash::PowerLossPolicy p;
+        p.inject_at_op = op.a % 24;
+        p.seed = op.seed;
+        tb_->dev.SetPowerLossPolicy(p);
+        rearm_delta_ = (op.b % 4 == 0) ? 1 + op.c % 6 : 0;
+        rearm_seed_ = op.seed ^ 0xD1B54A32D192ED03ull;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown op kind");
+  }
+
   /// Insert returned OutOfSpace: the rid is unknown, so reconcile by scan
   /// diff — the engine either holds exactly the model view, or the view plus
   /// one new tuple with our payload.
@@ -506,7 +852,7 @@ class Runner {
       crc = Crc32c(v.data(), v.size(), crc);
     }
     const auto& ds = tb_->dev.stats();
-    const auto& rs = tb_->backend->stats();
+    const ftl::RegionStats rs = BackendStats();
     for (uint64_t v :
          {res_.commits, res_.crashes, ds.page_programs, ds.delta_programs,
           ds.block_erases, ds.page_refreshes, rs.host_page_writes,
@@ -525,6 +871,12 @@ class Runner {
   engine::TxnId txn_ = engine::kInvalidTxn;
   uint64_t rearm_delta_ = 0;
   uint64_t rearm_seed_ = 0;
+
+  // kSharded session state (see the "kSharded session" block above).
+  bool s_open_ = false;
+  bool s_cross_ = false;
+  engine::ShardedDatabase::Txn s_fast_;
+  engine::ShardedDatabase::CrossTxn s_cross_txn_;
 };
 
 }  // namespace

@@ -39,8 +39,13 @@ enum class Schedule : uint8_t {
   kPageFtl,      ///< Conventional page-mapping FTL (cost-benefit GC) instead
                  ///< of a NoFTL region: no write_delta, OOB reverse-map
                  ///< mounts, GC/mount ops torn by power cuts.
+  kSharded,      ///< Two-partition shared-nothing engine (ShardedDatabase,
+                 ///< sequential driver): fast-path single-partition txns,
+                 ///< cross-partition txns on the locking path, power cuts,
+                 ///< per-partition WAL recovery. Oracles run against the
+                 ///< union of both partitions (stats summed per layer).
 };
-constexpr int kNumSchedules = 6;
+constexpr int kNumSchedules = 7;
 
 const char* ScheduleName(Schedule s);
 bool ParseSchedule(const std::string& name, Schedule* out);

@@ -64,7 +64,7 @@ Database::Database(ftl::NoFtl* ftl, EngineConfig config, SimClock* clock)
   if (config_.record_io_trace) bc.io_trace = &io_trace_;
   pool_ = std::make_unique<BufferPool>(
       bc, [this](TablespaceId ts) { return tablespaces_[ts].device; },
-      [this](Lsn lsn) { wal_.FlushTo(lsn); });
+      [this](Lsn lsn) { ForceLogTo(lsn); });
 }
 
 Result<TablespaceId> Database::CreateTablespace(const std::string& name,
@@ -138,19 +138,51 @@ Lsn Database::Log(LogRecord rec, TxnId txn) {
   return wal_.Append(rec);
 }
 
-TxnId Database::Begin() {
+TxnId Database::Begin(bool use_locks) {
   TxnId id = next_txn_++;
-  txns_[id] = TxnState{};
+  TxnState st;
+  st.use_locks = use_locks;
+  txns_[id] = st;
   txn_begin_time_[id] = clock_->Now();
   Log(LogRecord{.type = LogType::kBegin}, id);
   return id;
 }
 
-Status Database::Commit(TxnId txn) {
+Status Database::AcquireLock(TxnId txn, uint64_t key, LockMode mode) {
+  auto it = txns_.find(txn);
+  if (it != txns_.end() && !it->second.use_locks) return Status::OK();
+  return locks_.Acquire(txn, key, mode);
+}
+
+void Database::ForceLog() {
+  if (config_.log_force_us > 0 && wal_.durable_lsn() < wal_.end_lsn()) {
+    clock_->Advance(config_.log_force_us);
+  }
+  wal_.FlushAll();
+  pending_commit_forces_ = 0;
+}
+
+void Database::ForceLogTo(Lsn lsn) {
+  Lsn before = wal_.durable_lsn();
+  wal_.FlushTo(lsn);
+  if (config_.log_force_us > 0 && wal_.durable_lsn() != before) {
+    clock_->Advance(config_.log_force_us);
+  }
+}
+
+Status Database::CommitRecord(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
   Log(LogRecord{.type = LogType::kCommit}, txn);
-  wal_.FlushAll();  // group-commit-free force; no-force applies to data pages
+  // No-force applies to data pages; the commit record itself is forced —
+  // immediately by default, or batched by group commit (docs/SHARDING.md).
+  if (pending_commit_forces_ == 0) oldest_pending_commit_ = clock_->Now();
+  pending_commit_forces_++;
+  bool force =
+      pending_commit_forces_ >= config_.group_commit_ops ||
+      (config_.group_commit_window_us > 0 &&
+       clock_->Now() - oldest_pending_commit_ >= config_.group_commit_window_us);
+  if (force) ForceLog();
   locks_.ReleaseAll(txn);
   txns_.erase(it);
   auto bt = txn_begin_time_.find(txn);
@@ -161,8 +193,17 @@ Status Database::Commit(TxnId txn) {
   }
   txn_stats_.commits++;
   Dm().commits.Inc();
+  return Status::OK();
+}
+
+Status Database::RunCommitMaintenance() {
   IPA_RETURN_NOT_OK(pool_->MaybeRunCleaner());
   return MaybeReclaimLog();
+}
+
+Status Database::Commit(TxnId txn) {
+  IPA_RETURN_NOT_OK(CommitRecord(txn));
+  return RunCommitMaintenance();
 }
 
 Status Database::Abort(TxnId txn) {
@@ -181,7 +222,7 @@ Status Database::Abort(TxnId txn) {
     cur = next;
   }
   Log(LogRecord{.type = LogType::kAbort}, txn);
-  wal_.FlushAll();
+  ForceLog();
   locks_.ReleaseAll(txn);
   txns_.erase(txn);
   txn_begin_time_.erase(txn);
@@ -279,12 +320,12 @@ Result<Rid> Database::Insert(TxnId txn, TableId table,
   });
   IPA_RETURN_NOT_OK(s);
   TraceUpdate(target, static_cast<uint32_t>(tuple.size()) + 8);
-  IPA_RETURN_NOT_OK(locks_.Acquire(txn, rid.Pack(), LockMode::kExclusive));
+  IPA_RETURN_NOT_OK(AcquireLock(txn, rid.Pack(), LockMode::kExclusive));
   return rid;
 }
 
 Result<std::vector<uint8_t>> Database::Read(TxnId txn, Rid rid, bool for_update) {
-  IPA_RETURN_NOT_OK(locks_.Acquire(
+  IPA_RETURN_NOT_OK(AcquireLock(
       txn, rid.Pack(), for_update ? LockMode::kExclusive : LockMode::kShared));
   std::vector<uint8_t> out;
   IPA_RETURN_NOT_OK(WithPage(
@@ -299,7 +340,7 @@ Result<std::vector<uint8_t>> Database::Read(TxnId txn, Rid rid, bool for_update)
 
 Status Database::Update(TxnId txn, Rid rid, uint32_t offset,
                         std::span<const uint8_t> bytes) {
-  IPA_RETURN_NOT_OK(locks_.Acquire(txn, rid.Pack(), LockMode::kExclusive));
+  IPA_RETURN_NOT_OK(AcquireLock(txn, rid.Pack(), LockMode::kExclusive));
   TraceUpdate(rid.page, static_cast<uint32_t>(bytes.size()) + 8);
   return WithPage(rid.page, [&](storage::SlottedPage& view, bool* dirtied,
                                 Lsn* rec_lsn) -> Status {
@@ -326,7 +367,7 @@ Status Database::Update(TxnId txn, Rid rid, uint32_t offset,
 }
 
 Status Database::UpdateResize(TxnId txn, Rid rid, std::span<const uint8_t> tuple) {
-  IPA_RETURN_NOT_OK(locks_.Acquire(txn, rid.Pack(), LockMode::kExclusive));
+  IPA_RETURN_NOT_OK(AcquireLock(txn, rid.Pack(), LockMode::kExclusive));
   TraceUpdate(rid.page, static_cast<uint32_t>(tuple.size()) + 8);
   return WithPage(rid.page, [&](storage::SlottedPage& view, bool* dirtied,
                                 Lsn* rec_lsn) -> Status {
@@ -353,7 +394,7 @@ Status Database::UpdateResize(TxnId txn, Rid rid, std::span<const uint8_t> tuple
 }
 
 Status Database::Delete(TxnId txn, Rid rid) {
-  IPA_RETURN_NOT_OK(locks_.Acquire(txn, rid.Pack(), LockMode::kExclusive));
+  IPA_RETURN_NOT_OK(AcquireLock(txn, rid.Pack(), LockMode::kExclusive));
   TraceUpdate(rid.page, 12);
   return WithPage(rid.page, [&](storage::SlottedPage& view, bool* dirtied,
                                 Lsn* rec_lsn) -> Status {
@@ -427,7 +468,7 @@ Status Database::Checkpoint() {
   // page cleaners do not stall user transactions on data-page I/O).
   IPA_RETURN_NOT_OK(pool_->FlushAll(config_.cleaner_async));
   Lsn ckpt = Log(LogRecord{.type = LogType::kCheckpoint}, kInvalidTxn);
-  wal_.FlushAll();
+  ForceLog();
   // Truncation is bounded by the oldest active transaction's first record
   // (its undo chain must stay readable).
   Lsn bound = ckpt;
@@ -452,6 +493,8 @@ void Database::SimulateCrash() {
   txns_.clear();
   txn_begin_time_.clear();
   locks_ = LockManager{};
+  // Unforced group-commit batches died with the log tail.
+  pending_commit_forces_ = 0;
 }
 
 // ---------------------------------------------------------------------------

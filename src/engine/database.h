@@ -44,6 +44,18 @@ struct EngineConfig {
   /// Record the logical I/O event trace (fetch/update/evict) consumed by the
   /// IPL-vs-IPA comparison (Section 8.3).
   bool record_io_trace = false;
+  /// Group commit (docs/SHARDING.md): defer the commit-time log force until
+  /// this many commits are pending, or until the oldest pending commit is
+  /// older than `group_commit_window_us` on the simulated clock. The
+  /// defaults force every commit — today's behavior, bit for bit. Deferred
+  /// commits are lost by a crash until the next force runs (real group
+  /// commit semantics; ForceLog() closes the batch).
+  uint32_t group_commit_ops = 1;
+  uint64_t group_commit_window_us = 0;
+  /// Simulated latency of one log force. The historical model forces for
+  /// free (the log lives on its own fast volume); a non-zero value gives
+  /// group commit something to amortize.
+  uint64_t log_force_us = 0;
 };
 
 struct TxnStats {
@@ -77,10 +89,27 @@ class Database {
 
   // -- Transactions -----------------------------------------------------------
 
-  TxnId Begin();
+  /// `use_locks = false` opens a transaction on the shared-nothing fast
+  /// path: DML skips the lock manager entirely. Only safe when the caller
+  /// guarantees partition-exclusive access (sharded_database.h); the default
+  /// preserves two-phase locking.
+  TxnId Begin(bool use_locks = true);
   Status Commit(TxnId txn);
   /// Roll back through the log (CLR-protected) and release locks.
   Status Abort(TxnId txn);
+
+  /// Commit split for cross-partition transactions (sharded_database.h):
+  /// CommitRecord appends + (group-)forces the commit record and releases
+  /// locks; RunCommitMaintenance runs the cleaner / log-reclaim work that
+  /// Commit() would piggyback. Commit(txn) == CommitRecord + maintenance.
+  Status CommitRecord(TxnId txn);
+  Status RunCommitMaintenance();
+
+  /// Force the WAL through its last record, charging config.log_force_us
+  /// once if anything was pending, and close the group-commit batch.
+  void ForceLog();
+  /// Commits whose log force is still deferred by group commit.
+  uint32_t pending_commit_forces() const { return pending_commit_forces_; }
 
   // -- DML (all byte-span based; schemas live in src/workload) ----------------
 
@@ -137,6 +166,7 @@ class Database {
 
   BufferPool& buffer_pool() { return *pool_; }
   Wal& wal() { return wal_; }
+  const LockManager& lock_manager() const { return locks_; }
   ftl::NoFtl& ftl() { return *ftl_; }
   const TxnStats& txn_stats() const { return txn_stats_; }
   void ResetTxnStats() { txn_stats_ = TxnStats{}; }
@@ -186,9 +216,15 @@ class Database {
   struct TxnState {
     Lsn first_lsn = kInvalidLsn;
     Lsn last_lsn = kInvalidLsn;
+    bool use_locks = true;
   };
 
   Lsn Log(LogRecord rec, TxnId txn);
+  /// Lock-table acquire, skipped for shared-nothing fast-path transactions.
+  Status AcquireLock(TxnId txn, uint64_t key, LockMode mode);
+  /// WAL-rule force up to `lsn` (buffer-pool flush callback), charging
+  /// config.log_force_us when it actually has to advance the durable LSN.
+  void ForceLogTo(Lsn lsn);
   void TraceUpdate(PageId page, uint32_t log_bytes);
   Status AllocatePage(TableId table, PageId* out, TxnId txn);
   /// Fix the page of `rid` and run `fn` on it; handles unfix + dirty marking.
@@ -216,6 +252,10 @@ class Database {
   uint64_t checkpoints_ = 0;
   bool in_recovery_ = false;
   std::vector<IoEvent> io_trace_;
+  /// Group-commit batch state: commits whose force is deferred and the
+  /// simulated time the oldest of them committed at.
+  uint32_t pending_commit_forces_ = 0;
+  SimTime oldest_pending_commit_ = 0;
 };
 
 }  // namespace ipa::engine

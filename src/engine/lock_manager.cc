@@ -3,6 +3,7 @@
 namespace ipa::engine {
 
 Status LockManager::Acquire(TxnId txn, uint64_t key, LockMode mode) {
+  acquires_++;
   Entry& e = locks_[key];
   if (mode == LockMode::kShared) {
     if (e.xholder != kInvalidTxn && e.xholder != txn) {

@@ -31,6 +31,11 @@ class LockManager {
 
   size_t held_count(TxnId txn) const;
 
+  /// Total Acquire() calls that reached the lock table — the sharded
+  /// engine's "no lock-manager traffic on single-partition transactions"
+  /// claim is asserted against this (docs/SHARDING.md).
+  uint64_t acquires() const { return acquires_; }
+
  private:
   struct Entry {
     std::unordered_set<TxnId> sharers;
@@ -38,6 +43,7 @@ class LockManager {
   };
   std::unordered_map<uint64_t, Entry> locks_;
   std::unordered_map<TxnId, std::vector<uint64_t>> held_;
+  uint64_t acquires_ = 0;
 };
 
 }  // namespace ipa::engine

@@ -1,0 +1,188 @@
+#include "engine/sharded_database.h"
+
+namespace ipa::engine {
+
+ShardedDatabase::ShardedDatabase(std::vector<Partition> parts,
+                                 flash::FlashArray* dev, Config cfg)
+    : parts_(std::move(parts)), dev_(dev), cfg_(cfg) {
+  if (cfg_.threaded) {
+    workers_.reserve(parts_.size());
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      workers_.push_back(std::make_unique<Worker>());
+      Worker& w = *workers_.back();
+      w.thread = std::thread([this, &w] { WorkerLoop(w); });
+    }
+  }
+}
+
+ShardedDatabase::~ShardedDatabase() {
+  if (!cfg_.threaded) return;
+  Barrier();
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+uint32_t ShardedDatabase::PartitionOfKey(uint64_t key) const {
+  // SplitMix64 finalizer: sequential application keys scatter uniformly, so
+  // contiguous ranges (account ids, node ids) stripe across partitions.
+  uint64_t h = key;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return static_cast<uint32_t>(h % parts_.size());
+}
+
+ShardedDatabase::Txn ShardedDatabase::Begin(uint32_t part) {
+  // The fast path skips the lock manager; while any cross-partition
+  // transaction is open, new transactions take locks so the two families
+  // conflict-check against each other.
+  bool use_locks = active_cross_ != 0;
+  return Txn{part, parts_[part].db->Begin(use_locks)};
+}
+
+ShardedDatabase::CrossTxn ShardedDatabase::BeginCross() {
+  active_cross_++;
+  CrossTxn t;
+  t.branch.assign(parts_.size(), kInvalidTxn);
+  return t;
+}
+
+TxnId ShardedDatabase::Branch(CrossTxn& t, uint32_t part) {
+  if (t.branch[part] == kInvalidTxn) {
+    t.branch[part] = parts_[part].db->Begin(/*use_locks=*/true);
+  }
+  return t.branch[part];
+}
+
+Status ShardedDatabase::CommitCross(CrossTxn& t) {
+  // Phase 1: append + force every branch's commit record. CommitRecord does
+  // no flash I/O (the WAL force is modeled off-device), so no injected power
+  // cut can land between branch commits — the cross transaction is all-or-
+  // nothing with respect to crashes.
+  for (uint32_t p = 0; p < parts_.size(); ++p) {
+    if (t.branch[p] == kInvalidTxn) continue;
+    IPA_RETURN_NOT_OK(parts_[p].db->CommitRecord(t.branch[p]));
+  }
+  // Phase 2: the deferred cleaner / log-reclaim maintenance, every touched
+  // partition even if one fails — the transaction is already durable, and
+  // maintenance errors must not leave the cross-transaction accounting (and
+  // with it the fast path's lock bypass) pinned.
+  Status first = Status::OK();
+  for (uint32_t p = 0; p < parts_.size(); ++p) {
+    if (t.branch[p] == kInvalidTxn) continue;
+    t.branch[p] = kInvalidTxn;
+    Status s = parts_[p].db->RunCommitMaintenance();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  t.done = true;
+  active_cross_--;
+  return first;
+}
+
+Status ShardedDatabase::AbortCross(CrossTxn& t) {
+  // Per-branch rollback is CLR-protected and restartable: a branch whose
+  // Abort fails (e.g. OutOfSpace from piggy-backed log reclaim) keeps its
+  // TxnId, so a caller retry resumes exactly where rollback stopped.
+  for (uint32_t p = 0; p < parts_.size(); ++p) {
+    if (t.branch[p] == kInvalidTxn) continue;
+    IPA_RETURN_NOT_OK(parts_[p].db->Abort(t.branch[p]));
+    t.branch[p] = kInvalidTxn;
+  }
+  t.done = true;
+  active_cross_--;
+  return Status::OK();
+}
+
+void ShardedDatabase::Submit(uint32_t p, std::function<void()> fn) {
+  if (!cfg_.threaded) {
+    fn();
+    return;
+  }
+  Worker& w = *workers_[p];
+  inflight_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.queue.push_back(std::move(fn));
+  }
+  w.cv.notify_one();
+}
+
+void ShardedDatabase::Barrier() {
+  if (!cfg_.threaded) return;
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [this] {
+    return inflight_.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+void ShardedDatabase::WorkerLoop(Worker& w) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.cv.wait(lk, [&w] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop requested and drained
+      fn = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    fn();
+    // Decrement-then-notify under done_mu_ so Barrier's predicate check and
+    // wakeup can't interleave badly (classic lost-wakeup guard).
+    if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+SimTime ShardedDatabase::EpochBarrier() {
+  Barrier();
+  // Close each partition's group-commit batch before the lane merge: the
+  // forces advance partition clocks, which feed the epoch computation.
+  for (auto& part : parts_) part.db->ForceLog();
+  if (dev_ != nullptr) return dev_->DrainLanes();
+  // No lanes: the epoch is the max partition clock; drag the others up so
+  // every partition resumes from common time.
+  SimTime epoch = 0;
+  for (auto& part : parts_) {
+    epoch = std::max(epoch, part.db->sim_clock().Now());
+  }
+  for (auto& part : parts_) part.db->sim_clock().AdvanceTo(epoch);
+  return epoch;
+}
+
+Status ShardedDatabase::Checkpoint() {
+  Barrier();
+  for (auto& part : parts_) IPA_RETURN_NOT_OK(part.db->Checkpoint());
+  return Status::OK();
+}
+
+void ShardedDatabase::SimulateCrash() {
+  Barrier();
+  // A crash kills every in-flight transaction, cross-partition ones
+  // included; the lock-bypass accounting starts over with the restart.
+  active_cross_ = 0;
+  for (auto& part : parts_) part.db->SimulateCrash();
+}
+
+Status ShardedDatabase::Recover() {
+  for (auto& part : parts_) IPA_RETURN_NOT_OK(part.db->Recover());
+  return Status::OK();
+}
+
+Status ShardedDatabase::RecoverAfterPowerLoss() {
+  for (auto& part : parts_) {
+    IPA_RETURN_NOT_OK(part.db->RecoverAfterPowerLoss());
+  }
+  return Status::OK();
+}
+
+}  // namespace ipa::engine

@@ -1,0 +1,167 @@
+// Shared-nothing sharded engine (docs/SHARDING.md).
+//
+// ShardedDatabase composes N per-partition Database instances — each with
+// its own WAL, buffer pool, lock manager, B+-tree indexes and heap pages on
+// a disjoint chip set of one FlashArray — behind a key-hash partition map.
+// Single-partition transactions run on the shared-nothing fast path and
+// never touch a lock manager; cross-partition transactions fall back to the
+// locking path with lazily-opened per-partition branches. In threaded mode
+// every partition is driven by its own worker thread whose flash commands go
+// through a FlashLane (flash/submit_queue.h), so chip/channel reservations
+// from different workers overlap on the simulated clock; EpochBarrier()
+// quiesces the workers, closes each partition's group-commit batch and
+// merges the lanes deterministically.
+//
+// Determinism contract: for a fixed partition count and seed, results are
+// bit-identical across runs and across sequential vs. threaded execution —
+// each partition's command stream is deterministic, and the lane merge keys
+// on lane-local (issue, lane, seq) only. Threaded mode additionally requires
+// error injection off and no PowerLossPolicy armed.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "flash/flash_array.h"
+#include "flash/submit_queue.h"
+
+namespace ipa::engine {
+
+class ShardedDatabase {
+ public:
+  struct Partition {
+    Database* db = nullptr;
+    flash::FlashLane* lane = nullptr;  ///< Null: partition on the shared path.
+  };
+  struct Config {
+    /// Drive each partition from its own worker thread. Sequential mode
+    /// (false) runs submitted work inline, in submission order — required
+    /// for power-loss injection (crash points must be deterministic).
+    bool threaded = false;
+  };
+
+  /// `dev` may be null when no partition uses lanes. Databases and lanes are
+  /// borrowed, not owned.
+  ShardedDatabase(std::vector<Partition> parts, flash::FlashArray* dev,
+                  Config cfg);
+  ~ShardedDatabase();
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  uint32_t partitions() const { return static_cast<uint32_t>(parts_.size()); }
+  Database& db(uint32_t p) { return *parts_[p].db; }
+  flash::FlashLane* lane(uint32_t p) { return parts_[p].lane; }
+  bool threaded() const { return cfg_.threaded; }
+
+  // -- Partition map ---------------------------------------------------------
+
+  /// Home partition of an application key (SplitMix64 finalizer mod N, so
+  /// contiguous key ranges stripe evenly across partitions).
+  uint32_t PartitionOfKey(uint64_t key) const;
+
+  /// Global record keys: a partition-local Rid tagged with its partition in
+  /// the top 16 bits (partition-local tablespaces all use ts = 0, so
+  /// Rid::Pack() leaves those bits free).
+  static uint64_t PackGlobal(uint32_t partition, Rid rid) {
+    return rid.Pack() | (static_cast<uint64_t>(partition) << 48);
+  }
+  static uint32_t PartitionOfGlobal(uint64_t global_key) {
+    return static_cast<uint32_t>(global_key >> 48);
+  }
+  static Rid RidOfGlobal(uint64_t global_key) {
+    return Rid::Unpack(global_key & 0x0000FFFFFFFFFFFFull);
+  }
+
+  // -- Single-partition transactions (shared-nothing fast path) --------------
+
+  struct Txn {
+    uint32_t part = 0;
+    TxnId id = kInvalidTxn;
+  };
+
+  /// Open a transaction homed on `part`. It skips the lock manager unless a
+  /// cross-partition transaction is currently active (the fallback that
+  /// keeps the two path families compatible).
+  Txn Begin(uint32_t part);
+  Status Commit(const Txn& t) { return parts_[t.part].db->Commit(t.id); }
+  Status Abort(const Txn& t) { return parts_[t.part].db->Abort(t.id); }
+
+  // -- Cross-partition transactions (locking path) ---------------------------
+
+  /// A transaction spanning partitions: one lazily-opened branch per touched
+  /// partition, every branch on the locking path. Commit appends and forces
+  /// ALL branches' commit records (in partition order) before any branch
+  /// runs cleaner / log-reclaim maintenance, so no flash I/O — and hence no
+  /// injected power cut — can intervene between the branch commits.
+  struct CrossTxn {
+    std::vector<TxnId> branch;  ///< kInvalidTxn until the partition is touched.
+    bool done = false;
+  };
+
+  CrossTxn BeginCross();
+  /// The branch TxnId for `part`, opening it on first use.
+  TxnId Branch(CrossTxn& t, uint32_t part);
+  Status CommitCross(CrossTxn& t);
+  Status AbortCross(CrossTxn& t);
+  uint64_t active_cross_txns() const { return active_cross_; }
+
+  // -- Worker pool / epochs --------------------------------------------------
+
+  /// Run `fn` on partition `p`'s worker (threaded) or inline (sequential).
+  /// All work for one partition executes in submission order on one thread.
+  /// Threaded callers must confine each partition's Database and lane to the
+  /// closures submitted for that partition.
+  void Submit(uint32_t p, std::function<void()> fn);
+
+  /// Wait until every submitted closure has finished. No device effects.
+  void Barrier();
+
+  /// Barrier + close every partition's group-commit batch + merge the flash
+  /// lanes (FlashArray::DrainLanes). Returns the common epoch time all
+  /// partition clocks are advanced to.
+  SimTime EpochBarrier();
+
+  // -- Maintenance / recovery (partitions processed in order) ----------------
+
+  Status Checkpoint();
+  void SimulateCrash();
+  /// ARIES restart per partition. Each per-worker WAL replays independently
+  /// in its own LSN order; partitions are mounted/recovered in partition
+  /// order so the sequence is deterministic.
+  Status Recover();
+  Status RecoverAfterPowerLoss();
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+  };
+
+  void WorkerLoop(Worker& w);
+
+  std::vector<Partition> parts_;
+  flash::FlashArray* dev_;
+  Config cfg_;
+  uint64_t active_cross_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> inflight_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace ipa::engine

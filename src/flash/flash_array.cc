@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/metrics.h"
+#include "flash/submit_queue.h"
 
 namespace ipa::flash {
 
@@ -52,6 +53,124 @@ FlashArray::FlashArray(const Geometry& geometry, const TimingModel& timing,
   channel_busy_.assign(geo_.channels, 0);
 }
 
+FlashArray::~FlashArray() = default;
+
+void AccumulateStats(DeviceStats& into, const DeviceStats& from) {
+  into.page_reads += from.page_reads;
+  into.page_programs += from.page_programs;
+  into.delta_programs += from.delta_programs;
+  into.block_erases += from.block_erases;
+  into.bytes_read += from.bytes_read;
+  into.bytes_programmed += from.bytes_programmed;
+  into.delta_bytes_programmed += from.delta_bytes_programmed;
+  into.ispp_rejections += from.ispp_rejections;
+  into.interference_flips += from.interference_flips;
+  into.retention_flips += from.retention_flips;
+  into.page_refreshes += from.page_refreshes;
+  into.power_loss_injections += from.power_loss_injections;
+  into.torn_page_programs += from.torn_page_programs;
+  into.torn_delta_programs += from.torn_delta_programs;
+  into.torn_erases += from.torn_erases;
+}
+
+DeviceStats FlashArray::AggregateStats() const {
+  DeviceStats total = stats_;
+  for (const auto& lane : lanes_) AccumulateStats(total, lane->stats_);
+  return total;
+}
+
+void FlashArray::ResetStats() {
+  stats_ = DeviceStats{};
+  for (auto& lane : lanes_) lane->stats_ = DeviceStats{};
+}
+
+FlashLane* FlashArray::CreateLane() {
+  auto lane = std::unique_ptr<FlashLane>(
+      new FlashLane(static_cast<uint32_t>(lanes_.size())));
+  lane->clock_.AdvanceTo(clock_->Now());
+  lane->chip_busy_.resize(chips_.size());
+  for (size_t c = 0; c < chips_.size(); c++) {
+    lane->chip_busy_[c] = chips_[c].busy_until;
+  }
+  lane->channel_busy_ = channel_busy_;
+  lanes_.push_back(std::move(lane));
+  return lanes_.back().get();
+}
+
+void FlashArray::BindLaneToChips(FlashLane* lane,
+                                 const std::vector<uint32_t>& chips) {
+  if (lane_of_chip_.empty()) lane_of_chip_.assign(geo_.total_chips(), nullptr);
+  for (uint32_t chip : chips) lane_of_chip_[chip] = lane;
+}
+
+FlashLane* FlashArray::LaneOf(uint32_t chip) {
+  return lane_of_chip_.empty() ? nullptr : lane_of_chip_[chip];
+}
+
+DeviceStats& FlashArray::StatsFor(uint32_t chip) {
+  FlashLane* lane = LaneOf(chip);
+  return lane ? lane->stats_ : stats_;
+}
+
+SimTime FlashArray::DrainLanes() {
+  struct Item {
+    SimTime issue;
+    uint32_t lane;
+    uint64_t seq;
+    uint32_t chip;
+    uint64_t pre_bytes, op_us, post_bytes;
+    bool sync;
+  };
+  std::vector<Item> items;
+  for (const auto& lane : lanes_) {
+    for (const FlashLane::Reservation& r : lane->pending_) {
+      items.push_back({r.issue, lane->id_, r.seq, r.chip, r.pre_bytes, r.op_us,
+                       r.post_bytes, r.sync});
+    }
+  }
+  // The merge key is built only from lane-local values (issue tick on the
+  // lane clock, lane id, per-lane sequence), so the replayed schedule cannot
+  // depend on the chronological order in which threads called the device.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.issue != b.issue) return a.issue < b.issue;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.seq < b.seq;
+  });
+
+  std::vector<SimTime> lane_sync(lanes_.size(), 0);
+  for (const Item& it : items) {
+    // Same service-time model as Occupy(), with the lane-local issue tick
+    // standing in for "now".
+    uint32_t channel = it.chip / geo_.chips_per_channel;
+    SimTime chan_free = std::max(channel_busy_[channel], it.issue);
+    SimTime after_cmd = chan_free + timing_.command_overhead_us +
+                        timing_.TransferUs(it.pre_bytes);
+    SimTime chip_free = std::max(chips_[it.chip].busy_until, after_cmd);
+    SimTime after_op = chip_free + it.op_us;
+    SimTime chan_free2 = std::max(channel_busy_[channel], after_op);
+    SimTime complete = chan_free2 + timing_.TransferUs(it.post_bytes);
+    channel_busy_[channel] = std::max(after_cmd, complete);
+    chips_[it.chip].busy_until = after_op;
+    if (it.sync) lane_sync[it.lane] = std::max(lane_sync[it.lane], complete);
+  }
+
+  SimTime epoch = clock_->Now();
+  for (const auto& lane : lanes_) {
+    epoch = std::max({epoch, lane->clock_.Now(), lane_sync[lane->id_]});
+  }
+  clock_->AdvanceTo(epoch);
+  for (auto& lane : lanes_) {
+    lane->pending_.clear();
+    lane->next_seq_ = 0;
+    lane->clock_.AdvanceTo(epoch);
+    for (size_t c = 0; c < chips_.size(); c++) {
+      lane->chip_busy_[c] = chips_[c].busy_until;
+    }
+    lane->channel_busy_ = channel_busy_;
+  }
+  return epoch;
+}
+
 Status FlashArray::CheckPpn(Ppn ppn) const {
   if (ppn >= geo_.total_pages()) {
     return Status::InvalidArgument("ppn out of range");
@@ -91,6 +210,11 @@ bool FlashArray::IsWornOut(Pbn pbn) const {
 
 void FlashArray::Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_us,
                         uint64_t post_transfer_bytes, bool sync, IoTiming* t) {
+  if (FlashLane* lane = LaneOf(chip)) {
+    OccupyLane(*lane, chip, pre_transfer_bytes, op_us, post_transfer_bytes,
+               sync, t);
+    return;
+  }
   uint32_t channel = chip / geo_.chips_per_channel;
   SimTime now = clock_->Now();
   SimTime start = now;
@@ -123,6 +247,41 @@ void FlashArray::Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_
   }
 }
 
+void FlashArray::OccupyLane(FlashLane& lane, uint32_t chip,
+                            uint64_t pre_transfer_bytes, uint64_t op_us,
+                            uint64_t post_transfer_bytes, bool sync,
+                            IoTiming* t) {
+  // Occupy()'s service-time model against the lane's shadow state and clock.
+  // The completion computed here is provisional — DrainLanes() replays the
+  // reservation against the shared state for the authoritative schedule.
+  uint32_t channel = chip / geo_.chips_per_channel;
+  SimTime now = lane.clock_.Now();
+
+  SimTime chan_free = std::max(lane.channel_busy_[channel], now);
+  SimTime after_cmd = chan_free + timing_.command_overhead_us +
+                      timing_.TransferUs(pre_transfer_bytes);
+  SimTime chip_free = std::max(lane.chip_busy_[chip], after_cmd);
+  SimTime after_op = chip_free + op_us;
+  SimTime chan_free2 = std::max(lane.channel_busy_[channel], after_op);
+  SimTime complete = chan_free2 + timing_.TransferUs(post_transfer_bytes);
+
+  lane.channel_busy_[channel] = std::max(after_cmd, complete);
+  lane.chip_busy_[chip] = after_op;
+  lane.pending_.push_back({now, lane.next_seq_++, chip, pre_transfer_bytes,
+                           op_us, post_transfer_bytes, sync});
+
+  if (t) {
+    t->submitted = now;
+    t->completed = complete;
+  }
+  if (sync) {
+    lane.clock_.AdvanceTo(complete);
+  } else if (timing_.max_async_backlog_us > 0 &&
+             complete > now + timing_.max_async_backlog_us) {
+    lane.clock_.AdvanceTo(complete - timing_.max_async_backlog_us);
+  }
+}
+
 void FlashArray::SetPowerLossPolicy(const PowerLossPolicy& policy) {
   power_policy_ = policy;
   power_rng_.Seed(policy.seed);
@@ -136,6 +295,13 @@ void FlashArray::PowerCycle() {
   SimTime now = clock_->Now();
   for (auto& chip : chips_) chip.busy_until = now;
   for (auto& chan : channel_busy_) chan = now;
+  for (auto& lane : lanes_) {
+    lane->pending_.clear();
+    lane->next_seq_ = 0;
+    lane->clock_.AdvanceTo(now);
+    lane->chip_busy_.assign(chips_.size(), now);
+    lane->channel_busy_.assign(channel_busy_.size(), now);
+  }
 }
 
 bool FlashArray::DrawPowerLoss() {
@@ -228,8 +394,9 @@ Status FlashArray::ReadPage(Ppn ppn, uint8_t* out, IoTiming* t, bool sync) {
   PageAddress a = FromPpn(geo_, ppn);
   uint32_t chip = a.chip;
   Occupy(chip, 0, timing_.read_us, geo_.page_size, sync, t);
-  stats_.page_reads++;
-  stats_.bytes_read += geo_.page_size;
+  DeviceStats& st = StatsFor(chip);
+  st.page_reads++;
+  st.bytes_read += geo_.page_size;
   Fm().page_reads.Inc();
   Fm().bytes_read.Add(geo_.page_size);
   return Status::OK();
@@ -261,7 +428,7 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
     // ISPP re-program: every bit may only go 1 -> 0.
     for (uint32_t i = 0; i < geo_.page_size; i++) {
       if ((data[i] & page.data[i]) != data[i]) {
-        stats_.ispp_rejections++;
+        StatsFor(a.chip).ispp_rejections++;
         Fm().ispp_rejections.Inc();
         return Status::NotSupported("re-program requires 0->1 transition (ISPP)");
       }
@@ -271,7 +438,7 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
   if (merged_oob > 0 && !page.oob.empty()) {
     for (uint32_t i = 0; i < merged_oob; i++) {
       if ((oob[i] & page.oob[i]) != oob[i]) {
-        stats_.ispp_rejections++;
+        StatsFor(a.chip).ispp_rejections++;
         Fm().ispp_rejections.Inc();
         return Status::NotSupported("OOB re-program requires 0->1 transition");
       }
@@ -305,8 +472,9 @@ Status FlashArray::ProgramPage(Ppn ppn, const uint8_t* data, const uint8_t* oob,
   bool lsb = IsLsbPage(geo_, a.page);
   uint64_t prog_us = lsb ? timing_.program_lsb_us : timing_.program_msb_us;
   Occupy(a.chip, geo_.page_size, prog_us, 0, sync, t);
-  stats_.page_programs++;
-  stats_.bytes_programmed += geo_.page_size;
+  DeviceStats& st = StatsFor(a.chip);
+  st.page_programs++;
+  st.bytes_programmed += geo_.page_size;
   (lsb ? Fm().page_programs_lsb : Fm().page_programs_msb).Inc();
   Fm().bytes_programmed.Add(geo_.page_size);
   return Status::OK();
@@ -335,7 +503,7 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
   }
   for (uint32_t i = 0; i < len; i++) {
     if ((delta[i] & page.data[offset + i]) != delta[i]) {
-      stats_.ispp_rejections++;
+      StatsFor(a.chip).ispp_rejections++;
       Fm().ispp_rejections.Inc();
       return Status::NotSupported("delta requires 0->1 transition (ISPP)");
     }
@@ -355,8 +523,9 @@ Status FlashArray::ProgramDelta(Ppn ppn, uint32_t offset, const uint8_t* delta,
   MaybeInjectInterference(ppn);
 
   Occupy(a.chip, len, timing_.program_delta_us, 0, sync, t);
-  stats_.delta_programs++;
-  stats_.delta_bytes_programmed += len;
+  DeviceStats& st = StatsFor(a.chip);
+  st.delta_programs++;
+  st.delta_bytes_programmed += len;
   Fm().delta_programs.Inc();
   Fm().delta_bytes.Add(len);
   return Status::OK();
@@ -373,7 +542,7 @@ Status FlashArray::ProgramOob(Ppn ppn, uint32_t offset, const uint8_t* bytes,
   if (page.oob.empty()) page.oob.assign(geo_.oob_size, 0xFF);
   for (uint32_t i = 0; i < len; i++) {
     if ((bytes[i] & page.oob[offset + i]) != bytes[i]) {
-      stats_.ispp_rejections++;
+      StatsFor(ChipOf(ppn)).ispp_rejections++;
       Fm().ispp_rejections.Inc();
       return Status::NotSupported("OOB delta requires 0->1 transition (ISPP)");
     }
@@ -405,7 +574,7 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
   }
   for (uint32_t i = 0; i < geo_.page_size; i++) {
     if ((data[i] & page.data[i]) != data[i]) {
-      stats_.ispp_rejections++;
+      StatsFor(ChipOf(ppn)).ispp_rejections++;
       Fm().ispp_rejections.Inc();
       return Status::NotSupported("refresh requires 0->1 transition (ISPP)");
     }
@@ -415,7 +584,7 @@ Status FlashArray::RefreshPage(Ppn ppn, const uint8_t* data, IoTiming* t,
   bool lsb = IsLsbPage(geo_, a.page);
   Occupy(a.chip, geo_.page_size,
          lsb ? timing_.program_lsb_us : timing_.program_msb_us, 0, sync, t);
-  stats_.page_refreshes++;
+  StatsFor(a.chip).page_refreshes++;
   Fm().page_refreshes.Inc();
   return Status::OK();
 }
@@ -485,7 +654,7 @@ Status FlashArray::EraseBlock(Pbn pbn, IoTiming* t, bool sync) {
   blk.highest_programmed = -1;
   uint32_t chip = static_cast<uint32_t>(pbn / geo_.blocks_per_chip);
   Occupy(chip, 0, timing_.erase_us, 0, sync, t);
-  stats_.block_erases++;
+  StatsFor(chip).block_erases++;
   Fm().block_erases.Inc();
   return Status::OK();
 }

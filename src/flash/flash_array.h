@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "flash/timing.h"
 
 namespace ipa::flash {
+
+class FlashLane;  // submit_queue.h
 
 /// Bit-error injection configuration. All rates are per-operation
 /// probabilities; 0 disables the mechanism.
@@ -100,17 +103,44 @@ struct PageState {
   bool IsErased() const { return program_count == 0; }
 };
 
+/// Field-wise sum of device counters (lane aggregation).
+void AccumulateStats(DeviceStats& into, const DeviceStats& from);
+
 class FlashArray {
  public:
   /// If `clock` is null the device owns a private clock.
   FlashArray(const Geometry& geometry, const TimingModel& timing,
              const ErrorModel& errors = {}, SimClock* clock = nullptr);
+  ~FlashArray();
 
   const Geometry& geometry() const { return geo_; }
   const TimingModel& timing() const { return timing_; }
   SimClock& clock() { return *clock_; }
+  /// Counters for commands issued outside any lane. With lanes bound, each
+  /// lane keeps its own DeviceStats until aggregated — see AggregateStats().
   const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  /// stats() plus every lane's counters (live totals for sharded stacks).
+  DeviceStats AggregateStats() const;
+  /// Zero the device counters and every lane's counters.
+  void ResetStats();
+
+  // -- Batched submission lanes (submit_queue.h, docs/SHARDING.md) ----------
+
+  /// Create a lane owned by this device. Its clock and shadow busy state are
+  /// seeded from the shared state at the time of the call.
+  FlashLane* CreateLane();
+
+  /// Route every command that targets one of `chips` through `lane`: timing
+  /// is reserved against the lane's shadow state and queued for DrainLanes()
+  /// instead of the shared clock. A chip can be bound to at most one lane.
+  void BindLaneToChips(FlashLane* lane, const std::vector<uint32_t>& chips);
+
+  /// Epoch barrier: merge all queued reservations in (issue tick, lane id,
+  /// sequence) order — independent of cross-lane submission order — replay
+  /// them against the shared chip/channel busy state, then advance the shared
+  /// clock and every lane clock to the common epoch time, which is returned.
+  /// Callers must quiesce lane submitters first.
+  SimTime DrainLanes();
 
   // -- Data path ------------------------------------------------------------
   // Every command optionally reports its timing. `sync` operations advance
@@ -204,9 +234,21 @@ class FlashArray {
   const BlockState& BlockRef(Pbn pbn) const;
   PageState& PageRef(Ppn ppn);
 
-  /// Reserve chip+channel time for an operation; fills `t`.
+  /// Lane the chip is bound to, or null for the shared (legacy) path.
+  FlashLane* LaneOf(uint32_t chip);
+  /// Counter sink for a command on `chip`: its lane's stats, or stats_.
+  DeviceStats& StatsFor(uint32_t chip);
+  uint32_t ChipOf(Ppn ppn) const {
+    return static_cast<uint32_t>(ppn / geo_.pages_per_chip());
+  }
+
+  /// Reserve chip+channel time for an operation; fills `t`. Routed to the
+  /// chip's lane when one is bound (reservation queued for DrainLanes()).
   void Occupy(uint32_t chip, uint64_t pre_transfer_bytes, uint64_t op_us,
               uint64_t post_transfer_bytes, bool sync, IoTiming* t);
+  void OccupyLane(FlashLane& lane, uint32_t chip, uint64_t pre_transfer_bytes,
+                  uint64_t op_us, uint64_t post_transfer_bytes, bool sync,
+                  IoTiming* t);
 
   void MaybeInjectRetention(PageState& page);
   void MaybeInjectInterference(Ppn lsb_ppn);
@@ -232,10 +274,15 @@ class FlashArray {
   std::vector<ChipState> chips_;
   std::vector<SimTime> channel_busy_;    // per channel
 
+  std::vector<std::unique_ptr<FlashLane>> lanes_;
+  std::vector<FlashLane*> lane_of_chip_;  // empty until a lane is bound
+
   PowerLossPolicy power_policy_;
   Rng power_rng_{0x70FF};
-  bool powered_on_ = true;
-  uint64_t mutation_ops_ = 0;
+  // Atomic so concurrent lane submitters can check power / count mutating
+  // ops without racing (relaxed: ordering carried by the lane protocol).
+  std::atomic<bool> powered_on_{true};
+  std::atomic<uint64_t> mutation_ops_{0};
 };
 
 }  // namespace ipa::flash

@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "engine/database.h"
+#include "engine/sharded_database.h"
+#include "flash/submit_queue.h"
 #include "ftl/page_ftl.h"
 #include "workload/workload.h"
 
@@ -79,6 +81,52 @@ struct Testbed {
 };
 
 Result<std::unique_ptr<Testbed>> MakeTestbed(const TestbedConfig& config);
+
+/// Shared-nothing testbed (docs/SHARDING.md): ONE emulator-profile flash
+/// array whose 16 chips are split into `workers` contiguous ranges, each
+/// backing its own NoFTL region, FlashLane and Database (private WAL, buffer
+/// pool, lock manager), composed behind an engine::ShardedDatabase.
+/// workers=1 reproduces the unsharded testbed's behavior bit for bit.
+struct ShardedTestbedConfig {
+  /// Partition / worker count; must divide the emulator's 16 chips.
+  uint32_t workers = 1;
+  /// Drive partitions from real threads (engine::ShardedDatabase::Config).
+  /// Requires error injection off and no armed PowerLossPolicy.
+  bool threaded = false;
+  /// Base stack parameters. Only Profile::kEmulatorSlc with Backend::kNoFtl
+  /// is shardable (the OpenSSD profiles model a host parallelism of one).
+  /// db_pages counts the WHOLE database; each partition gets 1/workers.
+  TestbedConfig base;
+  /// Per-partition group commit (EngineConfig fields of the same names).
+  uint32_t group_commit_ops = 1;
+  uint64_t group_commit_window_us = 0;
+  uint64_t log_force_us = 0;
+};
+
+struct ShardedTestbed {
+  struct Part {
+    flash::FlashLane* lane = nullptr;  ///< Owned by `dev`.
+    std::unique_ptr<engine::Database> db;
+    engine::TablespaceId ts = 0;
+    ftl::RegionId region = 0;
+  };
+
+  std::unique_ptr<flash::FlashArray> dev;
+  std::unique_ptr<ftl::NoFtl> noftl;
+  std::vector<Part> parts;
+  std::unique_ptr<engine::ShardedDatabase> sharded;
+  uint64_t buffer_pages_per_part = 0;
+
+  uint32_t workers() const { return static_cast<uint32_t>(parts.size()); }
+  /// The device-wide clock (authoritative only at epoch barriers).
+  SimClock& device_clock() { return dev->clock(); }
+  const ftl::RegionStats& region_stats(uint32_t p) const {
+    return noftl->region_stats(parts[p].region);
+  }
+};
+
+Result<std::unique_ptr<ShardedTestbed>> MakeShardedTestbed(
+    const ShardedTestbedConfig& config);
 
 /// Scale factor for benchmark sizes: the IPA_SCALE environment variable
 /// (default 1.0) multiplies workload row counts and transaction counts.

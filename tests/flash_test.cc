@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flash/flash_array.h"
+#include "flash/submit_queue.h"
 
 namespace ipa::flash {
 namespace {
@@ -428,6 +429,90 @@ TEST(PowerLossTest, ProbabilisticInjectionFiresOnce) {
   }
   EXPECT_TRUE(fired);
   EXPECT_EQ(dev.stats().power_loss_injections, 1u);
+}
+
+// -- Submission lanes (submit_queue.h) ---------------------------------------
+
+TEST(FlashLaneTest, SubmissionOrderIndependent) {
+  // Two lanes on chips 0 and 1 — the SAME channel, so the merged schedule
+  // must arbitrate the bus. Submitting the identical per-lane sequences in
+  // different cross-lane call orders must produce the same epoch time.
+  Geometry g = SmallSlc();
+  std::vector<uint8_t> pat = Pattern(g.page_size, 3);
+  auto run = [&](bool interleaved) {
+    FlashArray dev(g, SlcTiming());
+    FlashLane* a = dev.CreateLane();
+    FlashLane* b = dev.CreateLane();
+    dev.BindLaneToChips(a, {0});
+    dev.BindLaneToChips(b, {1});
+    auto submit_a = [&](uint32_t p) {
+      ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {0, 0, p}), pat.data()).ok());
+      a->clock().Advance(7);  // worker "CPU time" between commands
+    };
+    auto submit_b = [&](uint32_t p) {
+      ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {1, 0, p}), pat.data()).ok());
+      b->clock().Advance(13);
+    };
+    if (interleaved) {
+      for (uint32_t p = 0; p < 8; p++) {
+        submit_a(p);
+        submit_b(p);
+      }
+    } else {
+      for (uint32_t p = 0; p < 8; p++) submit_a(p);
+      for (uint32_t p = 0; p < 8; p++) submit_b(p);
+    }
+    SimTime epoch = dev.DrainLanes();
+    EXPECT_EQ(dev.clock().Now(), epoch);
+    EXPECT_EQ(a->clock().Now(), epoch);
+    EXPECT_EQ(b->clock().Now(), epoch);
+    return epoch;
+  };
+  SimTime interleaved = run(true);
+  SimTime sequential = run(false);
+  EXPECT_EQ(interleaved, sequential);
+  EXPECT_GT(interleaved, 0u);
+}
+
+TEST(FlashLaneTest, LanesOverlapServiceTime) {
+  // Two lanes on chips of different channels overlap on the simulated clock;
+  // one synchronous submitter pays the full serial sum.
+  Geometry g = SmallSlc();
+  std::vector<uint8_t> pat = Pattern(g.page_size, 5);
+  FlashArray serial(g, SlcTiming());
+  for (uint32_t p = 0; p < 8; p++) {
+    ASSERT_TRUE(serial.ProgramPage(ToPpn(g, {0, 0, p}), pat.data()).ok());
+    ASSERT_TRUE(serial.ProgramPage(ToPpn(g, {2, 0, p}), pat.data()).ok());
+  }
+  SimTime serial_time = serial.clock().Now();
+
+  FlashArray dev(g, SlcTiming());
+  FlashLane* a = dev.CreateLane();
+  FlashLane* b = dev.CreateLane();
+  dev.BindLaneToChips(a, {0});
+  dev.BindLaneToChips(b, {2});
+  for (uint32_t p = 0; p < 8; p++) {
+    ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {0, 0, p}), pat.data()).ok());
+    ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {2, 0, p}), pat.data()).ok());
+  }
+  SimTime overlapped = dev.DrainLanes();
+  EXPECT_LT(overlapped * 4, serial_time * 3);  // at least 25% faster
+}
+
+TEST(FlashLaneTest, AggregateStatsSumsLaneCounters) {
+  Geometry g = SmallSlc();
+  std::vector<uint8_t> pat = Pattern(g.page_size, 9);
+  FlashArray dev(g, SlcTiming());
+  FlashLane* a = dev.CreateLane();
+  dev.BindLaneToChips(a, {0});
+  ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {0, 0, 0}), pat.data()).ok());
+  ASSERT_TRUE(dev.ProgramPage(ToPpn(g, {1, 0, 0}), pat.data()).ok());
+  EXPECT_EQ(a->stats().page_programs, 1u);       // chip 0 routed to the lane
+  EXPECT_EQ(dev.stats().page_programs, 1u);      // chip 1 on the shared path
+  EXPECT_EQ(dev.AggregateStats().page_programs, 2u);
+  dev.ResetStats();
+  EXPECT_EQ(a->stats().page_programs, 0u);
+  EXPECT_EQ(dev.AggregateStats().page_programs, 0u);
 }
 
 }  // namespace

@@ -5,9 +5,12 @@
 
 #include "bench/parallel_runner.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +117,53 @@ TEST(ParallelRunnerTest, RepeatedParallelRunsAreIdentical) {
     SCOPED_TRACE("config #" + std::to_string(i));
     ExpectResultEq(first[i].value(), second[i].value());
   }
+}
+
+// ParallelFor's spawned threads come from one process-wide Jobs() budget, so
+// a ParallelFor nested inside another's worker cannot multiply thread counts
+// (jobs * jobs before the budget existed). Peak concurrency of the innermost
+// bodies is bounded by the budget plus the one outermost calling thread,
+// which always participates without holding a budget slot.
+TEST(ParallelRunnerTest, NestedCallsShareTheProcessWideBudget) {
+  ASSERT_EQ(setenv("IPA_JOBS", "4", 1), 0);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  ParallelFor(8, [&](size_t) {
+    ParallelFor(8, [&](size_t) {
+      int now = live.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      live.fetch_sub(1);
+    });
+  });
+  unsetenv("IPA_JOBS");
+  EXPECT_LE(peak.load(), 5);  // 4 budgeted threads + the calling thread
+  EXPECT_GE(peak.load(), 2);  // the budget still buys real parallelism
+  EXPECT_EQ(live.load(), 0);
+}
+
+// A later call gets the budget back: slots released by a completed
+// ParallelFor are claimable again, and a plain (non-nested) call is bounded
+// by its jobs argument exactly as before.
+TEST(ParallelRunnerTest, BudgetIsReleasedAfterCompletion) {
+  ASSERT_EQ(setenv("IPA_JOBS", "4", 1), 0);
+  for (int round = 0; round < 2; round++) {
+    std::atomic<int> live{0};
+    std::atomic<int> peak{0};
+    ParallelFor(16, [&](size_t) {
+      int now = live.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      live.fetch_sub(1);
+    });
+    EXPECT_LE(peak.load(), 4);
+    EXPECT_GE(peak.load(), 2);
+  }
+  unsetenv("IPA_JOBS");
 }
 
 TEST(ParallelRunnerTest, JobsEnvOverridesDefault) {
