@@ -1,0 +1,378 @@
+#include "net/epoll_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipa::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EpollServer::EpollServer(engine::ShardedDatabase* sdb, KvService* kv,
+                         AdmissionController* ac, Config cfg)
+    : sdb_(sdb), kv_(kv), ac_(ac), cfg_(cfg), staged_(kv->partitions()) {}
+
+EpollServer::~EpollServer() {
+  for (auto& [id, c] : conns_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+Status EpollServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + cfg_.bind_addr);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) return Errno("pipe2");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_pipe_[0];
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  return Status::OK();
+}
+
+void EpollServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  char b = 0;
+  // Best effort: the loop also checks stop_ on every wakeup.
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+}
+
+Status EpollServer::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event evs[kMaxEvents];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int n = epoll_wait(epoll_fd_, evs, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = evs[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      if (fd == wake_pipe_[0]) {
+        char buf[64];
+        while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto idit = fd_to_id_.find(fd);
+      if (idit == fd_to_id_.end()) continue;
+      uint64_t id = idit->second;
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(id);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) HandleReadable(it->second);
+      }
+      if (evs[i].events & EPOLLOUT) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) TryFlush(it->second);
+      }
+    }
+    if (submitted_) {
+      submitted_ = false;
+      // Ack-after-force: close every partition's group-commit batch and
+      // merge the flash lanes before any staged response leaves the process.
+      sdb_->EpochBarrier();
+      FlushStaged();
+    }
+  }
+
+  // Clean shutdown: quiesce workers, kill interactive transactions, close
+  // the group-commit batches so nothing acknowledged is left unforced.
+  sdb_->Barrier();
+  kv_->AbortAll();
+  for (uint32_t p = 0; p < kv_->partitions(); ++p) kv_->ForceLog(p);
+  sdb_->EpochBarrier();
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, c] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConn(id);
+  return Status::OK();
+}
+
+void EpollServer::AcceptAll() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-notify
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    uint64_t id = next_conn_++;
+    Conn c;
+    c.fd = fd;
+    c.id = id;
+    conns_.emplace(id, std::move(c));
+    fd_to_id_[fd] = id;
+    stats_.accepted++;
+  }
+}
+
+void EpollServer::HandleReadable(Conn& c) {
+  uint8_t buf[64 * 1024];
+  uint64_t id = c.id;
+  while (true) {
+    ssize_t n = read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.dec.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error. A close mid-frame is a truncated frame: no reply.
+    CloseConn(id);
+    return;
+  }
+
+  Frame f;
+  std::string err;
+  while (!c.closing) {
+    FrameDecoder::Next next = c.dec.Poll(&f, &err);
+    if (next == FrameDecoder::Next::kNeedMore) break;
+    if (next == FrameDecoder::Next::kFatal) {
+      stats_.protocol_fatal++;
+      // Set closing first: SendNow's flush closes the connection once the
+      // error frame drains, which may invalidate `c` before we return.
+      c.closing = true;
+      std::vector<uint8_t> reason(err.begin(), err.end());
+      SendNow(c, static_cast<uint8_t>(RStatus::kError), 0, reason);
+      return;
+    }
+    OnFrame(c, f);
+    if (conns_.find(id) == conns_.end()) return;  // dropped while replying
+  }
+}
+
+void EpollServer::OnFrame(Conn& c, const Frame& f) {
+  stats_.requests++;
+  Request req;
+  if (!ParseRequest(f, &req)) {
+    stats_.bad_requests++;
+    static constexpr char kMsg[] = "bad request";
+    SendNow(c, static_cast<uint8_t>(RStatus::kBadRequest), f.request_id,
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(kMsg), sizeof(kMsg) - 1));
+    return;
+  }
+
+  uint64_t conn_id = c.id;
+  uint64_t request_id = f.request_id;
+  switch (req.op) {
+    case Op::kPing:
+      SendNow(c, static_cast<uint8_t>(RStatus::kOk), request_id, {});
+      return;
+
+    case Op::kBegin: {
+      uint32_t p = kv_->PartitionOfKey(req.key);
+      sdb_->Submit(p, [this, p, conn_id, request_id, hint = req.key] {
+        auto h = kv_->Begin(hint);
+        std::vector<uint8_t> payload;
+        uint8_t st = static_cast<uint8_t>(RStatus::kError);
+        if (h.ok()) {
+          st = static_cast<uint8_t>(RStatus::kOk);
+          PutU64(&payload, h.value());
+        }
+        StageResponse(p, conn_id, st, request_id, payload);
+      });
+      submitted_ = true;
+      return;
+    }
+
+    case Op::kCommit:
+    case Op::kAbort: {
+      uint32_t p = KvService::PartitionOfHandle(req.txn);
+      if (p >= kv_->partitions()) {
+        stats_.bad_requests++;
+        SendNow(c, static_cast<uint8_t>(RStatus::kBadRequest), request_id, {});
+        return;
+      }
+      bool commit = req.op == Op::kCommit;
+      sdb_->Submit(p, [this, p, conn_id, request_id, commit, txn = req.txn] {
+        RStatus rs = commit ? kv_->Commit(txn) : kv_->Abort(txn);
+        StageResponse(p, conn_id, static_cast<uint8_t>(rs), request_id, {});
+      });
+      submitted_ = true;
+      return;
+    }
+
+    case Op::kGet:
+    case Op::kPut:
+    case Op::kDelete: {
+      uint32_t p = req.txn != kAutoCommit
+                       ? KvService::PartitionOfHandle(req.txn)
+                       : kv_->PartitionOfKey(req.key);
+      if (p >= kv_->partitions()) {
+        stats_.bad_requests++;
+        SendNow(c, static_cast<uint8_t>(RStatus::kBadRequest), request_id, {});
+        return;
+      }
+      if (!ac_->TryAdmit(p)) {
+        stats_.shed++;
+        SendNow(c, static_cast<uint8_t>(RStatus::kRetry), request_id,
+                RetryPayload(ac_->RetryHintUs(p)));
+        return;
+      }
+      Op op = req.op;
+      std::vector<uint8_t> value(req.value.begin(), req.value.end());
+      sdb_->Submit(p, [this, p, conn_id, request_id, op, txn = req.txn,
+                       key = req.key, value = std::move(value)] {
+        RStatus rs;
+        std::vector<uint8_t> payload;
+        if (op == Op::kGet) {
+          rs = kv_->Get(p, txn, key, &payload);
+          if (rs != RStatus::kOk) payload.clear();
+        } else if (op == Op::kPut) {
+          rs = kv_->Put(p, txn, key, value);
+        } else {
+          rs = kv_->Delete(p, txn, key);
+        }
+        StageResponse(p, conn_id, static_cast<uint8_t>(rs), request_id,
+                      payload);
+        ac_->Complete(p);
+      });
+      submitted_ = true;
+      return;
+    }
+  }
+  // Unreachable: ParseRequest rejects unknown opcodes.
+  stats_.bad_requests++;
+  SendNow(c, static_cast<uint8_t>(RStatus::kBadRequest), request_id, {});
+}
+
+void EpollServer::SendNow(Conn& c, uint8_t status, uint64_t request_id,
+                          std::span<const uint8_t> payload) {
+  EncodeFrame(status, request_id, payload, &c.out);
+  stats_.responses++;
+  TryFlush(c);
+}
+
+void EpollServer::StageResponse(uint32_t p, uint64_t conn_id, uint8_t status,
+                                uint64_t request_id,
+                                std::span<const uint8_t> payload) {
+  Staged s;
+  s.conn_id = conn_id;
+  EncodeFrame(status, request_id, payload, &s.bytes);
+  staged_[p].push_back(std::move(s));
+}
+
+void EpollServer::FlushStaged() {
+  for (auto& lane : staged_) {
+    for (Staged& s : lane) {
+      auto it = conns_.find(s.conn_id);
+      if (it == conns_.end()) continue;  // connection died before the ack
+      Conn& c = it->second;
+      c.out.insert(c.out.end(), s.bytes.begin(), s.bytes.end());
+      stats_.responses++;
+      TryFlush(c);
+    }
+    lane.clear();
+  }
+}
+
+void EpollServer::TryFlush(Conn& c) {
+  uint64_t id = c.id;
+  while (c.out_off < c.out.size()) {
+    ssize_t n = write(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConn(id);
+    return;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    if (c.closing) {
+      CloseConn(id);
+      return;
+    }
+  } else if (c.out.size() - c.out_off > cfg_.conn_out_cap) {
+    // Slow client: it stopped draining responses and the buffer blew past
+    // the cap. Dropping it is the backpressure of last resort.
+    stats_.dropped_slow++;
+    CloseConn(id);
+    return;
+  }
+  RearmEpoll(c);
+}
+
+void EpollServer::RearmEpoll(Conn& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (c.out_off < c.out.size()) ev.events |= EPOLLOUT;
+  ev.data.fd = c.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void EpollServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  int fd = it->second.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  fd_to_id_.erase(fd);
+  conns_.erase(it);
+  stats_.closed++;
+}
+
+}  // namespace ipa::net

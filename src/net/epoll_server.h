@@ -1,0 +1,132 @@
+// Epoll-based TCP front end for the sharded engine (docs/SERVING.md).
+//
+// One transport thread owns the listening socket, every connection and the
+// epoll loop; request execution runs on the engine's partition workers via
+// ShardedDatabase::Submit. Per event-loop iteration the server:
+//
+//   1. drains readable sockets through per-connection FrameDecoders,
+//   2. routes each request to its home partition — after an admission check
+//      that sheds with RETRY + backoff hint when the partition's inflight
+//      budget is exhausted (net/admission.h),
+//   3. runs one EpochBarrier, which quiesces the workers, closes every
+//      partition's group-commit batch and merges the flash lanes — so every
+//      staged response is durable before step 4 (ack-after-force),
+//   4. flushes the staged responses to the sockets.
+//
+// Per-request protocol errors answer kBadRequest and keep the connection;
+// stream-poisoning errors (bad magic/version/oversize/CRC) get one kError
+// frame and a close (net/protocol.h). A connection whose output buffer
+// exceeds Config::conn_out_cap — a slow client that stopped reading — is
+// dropped. Stop() is async-signal-safe: SIGTERM handlers call it to trigger
+// the clean-shutdown path (abort open txns, force logs, close sockets).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sharded_database.h"
+#include "net/admission.h"
+#include "net/kv_service.h"
+#include "net/protocol.h"
+
+namespace ipa::net {
+
+class EpollServer {
+ public:
+  struct Config {
+    std::string bind_addr = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 picks an ephemeral port; see port().
+    /// Output-buffer cap per connection; beyond it the peer is dropped.
+    uint32_t conn_out_cap = 1u << 20;
+  };
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t dropped_slow = 0;
+    uint64_t protocol_fatal = 0;  ///< Connections closed for stream poison.
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    uint64_t shed = 0;
+    uint64_t bad_requests = 0;
+  };
+
+  /// All three collaborators are borrowed and must outlive the server.
+  EpollServer(engine::ShardedDatabase* sdb, KvService* kv,
+              AdmissionController* ac, Config cfg);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// Bind + listen + create the epoll instance. port() is valid after this.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  /// Serve until Stop(). Runs the transport loop on the calling thread and
+  /// performs the clean shutdown (abort txns, force logs) before returning.
+  Status Run();
+
+  /// Request shutdown. Async-signal-safe (flag + self-pipe write).
+  void Stop();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder dec;
+    std::vector<uint8_t> out;
+    size_t out_off = 0;
+    bool closing = false;  ///< Flush remaining output, then close.
+  };
+  /// A response produced on a partition worker, flushed after the barrier.
+  struct Staged {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  void AcceptAll();
+  void HandleReadable(Conn& c);
+  void OnFrame(Conn& c, const Frame& f);
+  /// Append an encoded response and try to flush (transport-thread sends:
+  /// PING, shed RETRY, kBadRequest, fatal kError).
+  void SendNow(Conn& c, uint8_t status, uint64_t request_id,
+               std::span<const uint8_t> payload);
+  /// Encode + stage a response on partition p's worker thread.
+  void StageResponse(uint32_t p, uint64_t conn_id, uint8_t status,
+                     uint64_t request_id, std::span<const uint8_t> payload);
+  void FlushStaged();
+  /// Write as much of c.out as the socket accepts; closes on error, on
+  /// completed `closing` flush, and on output-cap breach.
+  void TryFlush(Conn& c);
+  void CloseConn(uint64_t id);
+  void RearmEpoll(Conn& c);
+
+  engine::ShardedDatabase* sdb_;
+  KvService* kv_;
+  AdmissionController* ac_;
+  Config cfg_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  uint64_t next_conn_ = 1;
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::unordered_map<int, uint64_t> fd_to_id_;
+  std::vector<std::vector<Staged>> staged_;  ///< One lane per partition.
+  bool submitted_ = false;  ///< Work handed to partition workers this round.
+  Stats stats_;
+};
+
+}  // namespace ipa::net

@@ -1,0 +1,136 @@
+// KV request execution over the partitioned engine (docs/SERVING.md).
+//
+// KvService maps the wire protocol's GET/PUT/DELETE/BEGIN/COMMIT/ABORT onto
+// one table + B+-tree index ("KV" / "KV_IDX", key -> packed Rid) per
+// partition Database. It is transport-agnostic: the epoll server, the
+// deterministic serving simulation and the power-cut soak all execute
+// through it, on an engine::ShardedDatabase's partitions or on a plain
+// single Database.
+//
+// Threading contract: every call for partition p must run on p's owning
+// thread (the partition worker in threaded mode); the server routes BEGIN by
+// key hint and COMMIT/ABORT by the handle's partition tag to satisfy this.
+// The wire-handle table is the one piece of cross-partition state and is
+// guarded by its own mutex; everything else is partition-confined, and
+// isolation between interleaved transactions comes from the engine.
+//
+// Transaction model (v1): interactive transactions are partition-homed —
+// BEGIN's key hint picks the partition, and ops on keys homed elsewhere get
+// kBadRequest. Autocommit ops run on the shared-nothing no-lock fast path
+// while no interactive transaction is open on their partition; when one is,
+// both sides go through the lock manager, and lock conflicts surface as
+// kRetry (the lock table returns Busy rather than blocking). Cross-partition
+// transactions exist in the engine (ShardedDatabase::CrossTxn) but are not
+// yet exposed over the wire.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/btree.h"
+#include "engine/database.h"
+#include "net/protocol.h"
+
+namespace ipa::net {
+
+class KvService {
+ public:
+  struct PartitionConfig {
+    engine::Database* db = nullptr;
+    engine::TablespaceId ts = 0;
+  };
+
+  /// Creates the KV table and index in every partition.
+  static Result<std::unique_ptr<KvService>> Create(
+      std::vector<PartitionConfig> parts);
+
+  uint32_t partitions() const { return static_cast<uint32_t>(parts_.size()); }
+  engine::Database& db(uint32_t p) { return *parts_[p].db; }
+
+  /// Home partition of a key — the same SplitMix64 hash the sharded engine
+  /// uses, so striding keys spread evenly.
+  uint32_t PartitionOfKey(uint64_t key) const;
+
+  // -- Data ops (run on partition p's thread) --------------------------------
+  // Each returns the wire status; `value` is filled on kOk GETs. Autocommit
+  // unless `txn` names an open interactive transaction on this partition.
+
+  RStatus Get(uint32_t p, uint64_t txn, uint64_t key,
+              std::vector<uint8_t>* value);
+  RStatus Put(uint32_t p, uint64_t txn, uint64_t key,
+              std::span<const uint8_t> value);
+  RStatus Delete(uint32_t p, uint64_t txn, uint64_t key);
+
+  // -- Interactive transactions ----------------------------------------------
+
+  /// Open a transaction homed on PartitionOfKey(key_hint). The returned wire
+  /// handle encodes the partition (top 16 bits) over the engine TxnId.
+  Result<uint64_t> Begin(uint64_t key_hint);
+  static uint32_t PartitionOfHandle(uint64_t handle) {
+    return static_cast<uint32_t>(handle >> 48);
+  }
+  RStatus Commit(uint64_t handle);
+  RStatus Abort(uint64_t handle);
+
+  /// Abort every open interactive transaction (server shutdown; partitions
+  /// must be quiesced — call after ShardedDatabase::Barrier).
+  void AbortAll();
+  size_t open_txns() const {
+    std::lock_guard<std::mutex> l(txn_mu_);
+    return open_txns_.size();
+  }
+
+  // -- Durability / recovery -------------------------------------------------
+
+  /// Close partition p's group-commit batch: after this returns, every
+  /// commit acknowledged so far is durable. The server calls this per batch
+  /// BEFORE emitting responses (ack-after-force).
+  void ForceLog(uint32_t p) { parts_[p].db->ForceLog(); }
+
+  /// Rebuild the per-partition key indexes from heap scans — required after
+  /// crash recovery, since index pages are not WAL-logged (engine/btree.h).
+  /// Open interactive transactions are forgotten (the crash killed them).
+  Status RebuildIndexes();
+
+  /// Keys currently indexed in partition p (tests / sizing).
+  Result<uint64_t> KeyCount(uint32_t p);
+
+ private:
+  struct Part {
+    engine::Database* db = nullptr;
+    engine::TablespaceId ts = 0;
+    engine::TableId table = 0;
+    std::unique_ptr<engine::Btree> index;
+    uint32_t open_txns = 0;      ///< Interactive txns homed here.
+    uint32_t index_rebuilds = 0;
+  };
+
+  explicit KvService(std::vector<Part> parts) : parts_(std::move(parts)) {}
+
+  /// Map an engine status onto the wire: Busy/Aborted -> kRetry (caller
+  /// should back off and retry), NotFound -> kNotFound, Unavailable ->
+  /// kUnavailable (device powered off), anything else -> kError.
+  static RStatus WireStatus(const Status& s);
+
+  /// Begin/Commit wrapper for autocommit ops: opens a no-lock fast-path txn
+  /// unless an interactive txn is open on the partition.
+  engine::TxnId BeginAuto(Part& part);
+
+  Part* PartOfTxnOr(uint64_t handle, uint32_t expected_part,
+                    engine::TxnId* txn);
+
+  std::vector<Part> parts_;
+  /// Wire handle -> engine txn id (all handles are partition-tagged). Guarded
+  /// by txn_mu_: partition workers resolve handles concurrently.
+  mutable std::mutex txn_mu_;
+  std::unordered_map<uint64_t, engine::TxnId> open_txns_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace ipa::net
