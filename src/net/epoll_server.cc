@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -168,10 +169,15 @@ void EpollServer::AcceptAll() {
 void EpollServer::HandleReadable(Conn& c) {
   uint8_t buf[64 * 1024];
   uint64_t id = c.id;
-  while (true) {
-    ssize_t n = read(c.fd, buf, sizeof(buf));
+  // Bounded read: at most conn_read_budget bytes per iteration, not "drain
+  // to EAGAIN" — level-triggered epoll re-notifies for the remainder, after
+  // other connections (and the staged-ack flush) have had their turn.
+  size_t budget = cfg_.conn_read_budget;
+  while (budget > 0) {
+    ssize_t n = read(c.fd, buf, std::min<size_t>(sizeof(buf), budget));
     if (n > 0) {
       c.dec.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+      budget -= static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -198,6 +204,12 @@ void EpollServer::HandleReadable(Conn& c) {
     OnFrame(c, f);
     if (conns_.find(id) == conns_.end()) return;  // dropped while replying
   }
+  if (!c.closing && c.dec.buffered_bytes() > cfg_.conn_in_cap) {
+    // All complete frames were consumed above, so buffered bytes are one
+    // partial frame — beyond the cap the peer is flooding, not mid-frame.
+    stats_.dropped_flooded++;
+    CloseConn(id);
+  }
 }
 
 void EpollServer::OnFrame(Conn& c, const Frame& f) {
@@ -221,8 +233,16 @@ void EpollServer::OnFrame(Conn& c, const Frame& f) {
 
     case Op::kBegin: {
       uint32_t p = kv_->PartitionOfKey(req.key);
+      // BEGIN pays admission like a data op, and the server-wide open-txn
+      // cap bounds handle-table growth from clients that never COMMIT.
+      if (kv_->open_txns() >= cfg_.max_open_txns || !ac_->TryAdmit(p)) {
+        stats_.shed++;
+        SendNow(c, static_cast<uint8_t>(RStatus::kRetry), request_id,
+                RetryPayload(ac_->RetryHintUs(p)));
+        return;
+      }
       sdb_->Submit(p, [this, p, conn_id, request_id, hint = req.key] {
-        auto h = kv_->Begin(hint);
+        auto h = kv_->Begin(hint, conn_id);
         std::vector<uint8_t> payload;
         uint8_t st = static_cast<uint8_t>(RStatus::kError);
         if (h.ok()) {
@@ -230,6 +250,7 @@ void EpollServer::OnFrame(Conn& c, const Frame& f) {
           PutU64(&payload, h.value());
         }
         StageResponse(p, conn_id, st, request_id, payload);
+        ac_->Complete(p);
       });
       submitted_ = true;
       return;
@@ -373,6 +394,16 @@ void EpollServer::CloseConn(uint64_t id) {
   fd_to_id_.erase(fd);
   conns_.erase(it);
   stats_.closed++;
+  // A dying client's open transactions would otherwise hold their locks and
+  // handle-table slots forever. Abort them on their home partitions; the
+  // per-partition FIFO puts the abort behind any requests the connection
+  // already submitted.
+  for (uint64_t h : kv_->HandlesOwnedBy(id)) {
+    stats_.txn_aborted_on_close++;
+    sdb_->Submit(KvService::PartitionOfHandle(h),
+                 [this, h] { (void)kv_->Abort(h); });
+    submitted_ = true;
+  }
 }
 
 }  // namespace ipa::net

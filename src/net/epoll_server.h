@@ -15,10 +15,17 @@
 //
 // Per-request protocol errors answer kBadRequest and keep the connection;
 // stream-poisoning errors (bad magic/version/oversize/CRC) get one kError
-// frame and a close (net/protocol.h). A connection whose output buffer
-// exceeds Config::conn_out_cap — a slow client that stopped reading — is
-// dropped. Stop() is async-signal-safe: SIGTERM handlers call it to trigger
-// the clean-shutdown path (abort open txns, force logs, close sockets).
+// frame and a close (net/protocol.h). Both directions are bounded: a
+// connection whose output buffer exceeds Config::conn_out_cap (a slow
+// client that stopped reading) or whose decoder buffer exceeds
+// Config::conn_in_cap is dropped, and reads are limited to
+// Config::conn_read_budget per iteration so one pipeliner cannot starve the
+// rest. BEGIN passes admission control like a data op and is additionally
+// capped by Config::max_open_txns; a connection that dies with transactions
+// open gets them aborted on their home partitions (CloseConn), so no client
+// can leak locks or handle-table entries. Stop() is async-signal-safe:
+// SIGTERM handlers call it to trigger the clean-shutdown path (abort open
+// txns, force logs, close sockets).
 
 #pragma once
 
@@ -44,17 +51,30 @@ class EpollServer {
     uint16_t port = 0;  ///< 0 picks an ephemeral port; see port().
     /// Output-buffer cap per connection; beyond it the peer is dropped.
     uint32_t conn_out_cap = 1u << 20;
+    /// Bytes read per connection per event-loop iteration, so one heavy
+    /// pipeliner cannot monopolize the transport thread; level-triggered
+    /// epoll re-notifies for whatever is left in the socket buffer.
+    uint32_t conn_read_budget = 256u << 10;
+    /// Decoder-buffer cap per connection; beyond it the peer is dropped
+    /// (must exceed one max frame, kHeaderBytes + kMaxPayload).
+    uint32_t conn_in_cap = 2u << 20;
+    /// Server-wide cap on open interactive transactions; BEGIN beyond it is
+    /// shed with RETRY so clients that never COMMIT cannot grow the handle
+    /// table (and lock footprint) without bound.
+    uint32_t max_open_txns = 1024;
   };
 
   struct Stats {
     uint64_t accepted = 0;
     uint64_t closed = 0;
     uint64_t dropped_slow = 0;
+    uint64_t dropped_flooded = 0;  ///< Closed for input-buffer overrun.
     uint64_t protocol_fatal = 0;  ///< Connections closed for stream poison.
     uint64_t requests = 0;
     uint64_t responses = 0;
     uint64_t shed = 0;
     uint64_t bad_requests = 0;
+    uint64_t txn_aborted_on_close = 0;  ///< Txns a dead client left open.
   };
 
   /// All three collaborators are borrowed and must outlive the server.

@@ -65,16 +65,33 @@ engine::TxnId KvService::BeginAuto(Part& part) {
   return part.db->Begin(/*use_locks=*/part.open_txns > 0);
 }
 
-KvService::Part* KvService::PartOfTxnOr(uint64_t handle,
-                                        uint32_t expected_part,
-                                        engine::TxnId* txn) {
-  uint32_t home = PartitionOfHandle(handle);
-  if (home != expected_part) return nullptr;
+KvService::TxnState* KvService::StateOfTxn(uint64_t handle,
+                                           uint32_t expected_part) {
+  if (PartitionOfHandle(handle) != expected_part) return nullptr;
+  std::lock_guard<std::mutex> l(txn_mu_);
+  auto it = open_txns_.find(handle);
+  return it == open_txns_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<KvService::TxnState> KvService::TakeTxn(uint64_t handle) {
   std::lock_guard<std::mutex> l(txn_mu_);
   auto it = open_txns_.find(handle);
   if (it == open_txns_.end()) return nullptr;
-  *txn = it->second;
-  return &parts_[home];
+  std::unique_ptr<TxnState> ts = std::move(it->second);
+  open_txns_.erase(it);
+  return ts;
+}
+
+void KvService::RestoreIndex(Part& part, const TxnState& ts) {
+  // Best effort even when the engine abort itself failed (device power cut):
+  // the post-crash RebuildIndexes pass supersedes anything left here.
+  for (const auto& [key, u] : ts.undo) {
+    if (u.present) {
+      (void)part.index->Insert(key, u.packed);
+    } else {
+      (void)part.index->Remove(key);
+    }
+  }
 }
 
 RStatus KvService::Get(uint32_t p, uint64_t txn, uint64_t key,
@@ -84,10 +101,17 @@ RStatus KvService::Get(uint32_t p, uint64_t txn, uint64_t key,
   bool autocommit = txn == kAutoCommit;
   if (autocommit) {
     t = BeginAuto(part);
-  } else if (!PartOfTxnOr(txn, p, &t) || PartitionOfKey(key) != p) {
-    // Unknown/foreign handle, or a key homed on another partition: honoring
-    // it would file the tuple under the wrong partition's index.
-    return RStatus::kBadRequest;
+  } else {
+    TxnState* ts = StateOfTxn(txn, p);
+    if (ts == nullptr || PartitionOfKey(key) != p) {
+      // Unknown/foreign handle, or a key homed on another partition: honoring
+      // it would file the tuple under the wrong partition's index.
+      return RStatus::kBadRequest;
+    }
+    // The txn deleted this key; the index entry still points at the dead
+    // slot until commit (header comment), so hide it here.
+    if (ts->tombstones.count(key) > 0) return RStatus::kNotFound;
+    t = ts->txn;
   }
 
   auto finish = [&](const Status& s) {
@@ -105,6 +129,12 @@ RStatus KvService::Get(uint32_t p, uint64_t txn, uint64_t key,
   if (!packed.ok()) return finish(packed.status());
   auto row = part.db->Read(t, engine::Rid::Unpack(packed.value()));
   if (!row.ok()) return finish(row.status());
+  if (row.value().size() < kTupleHeader ||
+      GetU64(row.value().data()) != key) {
+    // Truncated tuple or an index entry resolving to some other key's slot:
+    // never slice past the end, and never serve another key's bytes.
+    return finish(Status::Corruption("KV tuple does not match its index entry"));
+  }
   value->assign(row.value().begin() + kTupleHeader, row.value().end());
   return finish(Status::OK());
 }
@@ -113,17 +143,25 @@ RStatus KvService::Put(uint32_t p, uint64_t txn, uint64_t key,
                        std::span<const uint8_t> value) {
   Part& part = parts_[p];
   engine::TxnId t;
+  TxnState* ts = nullptr;
   bool autocommit = txn == kAutoCommit;
   if (autocommit) {
     t = BeginAuto(part);
-  } else if (!PartOfTxnOr(txn, p, &t) || PartitionOfKey(key) != p) {
-    // Unknown/foreign handle, or a key homed on another partition: honoring
-    // it would file the tuple under the wrong partition's index.
-    return RStatus::kBadRequest;
+  } else {
+    ts = StateOfTxn(txn, p);
+    if (ts == nullptr || PartitionOfKey(key) != p) {
+      // Unknown/foreign handle, or a key homed on another partition: honoring
+      // it would file the tuple under the wrong partition's index.
+      return RStatus::kBadRequest;
+    }
+    t = ts->txn;
   }
 
   // Index changes made before a failure are rolled back by hand — the
-  // B+-tree is not WAL-logged, so engine undo never sees them.
+  // B+-tree is not WAL-logged, so engine undo never sees them. For
+  // interactive transactions, `capture` additionally snapshots the key's
+  // committed index state at the txn's first mutation of it, so Abort can
+  // roll back index changes from earlier, already-successful requests too.
   bool index_inserted = false;
   uint64_t index_old = 0;
   bool index_had_old = false;
@@ -141,9 +179,15 @@ RStatus KvService::Put(uint32_t p, uint64_t txn, uint64_t key,
     }
     return WireStatus(s);
   };
+  auto capture = [&](bool present, uint64_t packed) {
+    if (ts != nullptr) {
+      ts->undo.emplace(key, TxnState::KeyUndo{present, packed});
+    }
+  };
 
   auto packed = part.index->Lookup(key);
-  if (packed.ok()) {
+  bool own_deleted = ts != nullptr && ts->tombstones.count(key) > 0;
+  if (packed.ok() && !own_deleted) {
     engine::Rid rid = engine::Rid::Unpack(packed.value());
     auto row = part.db->Read(t, rid, /*for_update=*/true);
     if (!row.ok()) return finish(row.status());
@@ -157,6 +201,7 @@ RStatus KvService::Put(uint32_t p, uint64_t txn, uint64_t key,
     if (s.IsOutOfSpace()) {
       auto moved = part.db->Move(t, rid, tuple);
       if (!moved.ok()) return finish(moved.status());
+      capture(true, packed.value());
       index_old = packed.value();
       index_had_old = true;
       index_inserted = true;
@@ -164,25 +209,45 @@ RStatus KvService::Put(uint32_t p, uint64_t txn, uint64_t key,
     }
     return finish(s);
   }
-  if (!packed.status().IsNotFound()) return finish(packed.status());
+  if (!packed.ok() && !packed.status().IsNotFound()) {
+    return finish(packed.status());
+  }
 
+  // New key — or a re-insert over this transaction's own delete, in which
+  // case the index entry still points at the dead slot and is re-pointed.
   auto rid = part.db->Insert(t, part.table, MakeTuple(key, value));
   if (!rid.ok()) return finish(rid.status());
+  if (own_deleted && packed.ok()) {
+    // First-touch undo state was captured by the delete; the per-request
+    // rollback only needs to re-point the entry back at the dead slot.
+    index_old = packed.value();
+    index_had_old = true;
+  } else {
+    capture(false, 0);
+    index_had_old = false;
+  }
   index_inserted = true;
-  index_had_old = false;
-  return finish(part.index->Insert(key, rid.value().Pack()));
+  Status is = part.index->Insert(key, rid.value().Pack());
+  if (is.ok() && ts != nullptr) ts->tombstones.erase(key);
+  return finish(is);
 }
 
 RStatus KvService::Delete(uint32_t p, uint64_t txn, uint64_t key) {
   Part& part = parts_[p];
   engine::TxnId t;
+  TxnState* ts = nullptr;
   bool autocommit = txn == kAutoCommit;
   if (autocommit) {
     t = BeginAuto(part);
-  } else if (!PartOfTxnOr(txn, p, &t) || PartitionOfKey(key) != p) {
-    // Unknown/foreign handle, or a key homed on another partition: honoring
-    // it would file the tuple under the wrong partition's index.
-    return RStatus::kBadRequest;
+  } else {
+    ts = StateOfTxn(txn, p);
+    if (ts == nullptr || PartitionOfKey(key) != p) {
+      // Unknown/foreign handle, or a key homed on another partition: honoring
+      // it would file the tuple under the wrong partition's index.
+      return RStatus::kBadRequest;
+    }
+    if (ts->tombstones.count(key) > 0) return RStatus::kNotFound;
+    t = ts->txn;
   }
 
   bool index_removed = false;
@@ -200,61 +265,82 @@ RStatus KvService::Delete(uint32_t p, uint64_t txn, uint64_t key) {
   if (!packed.ok()) return finish(packed.status());
   Status s = part.db->Delete(t, engine::Rid::Unpack(packed.value()));
   if (!s.ok()) return finish(s);
+  if (ts != nullptr) {
+    // Interactive: keep the entry pointing at the exclusively locked dead
+    // slot so concurrent writers of the key conflict instead of inserting a
+    // duplicate; Commit removes it, Abort restores the first-touch state.
+    ts->undo.emplace(key, TxnState::KeyUndo{true, packed.value()});
+    ts->tombstones.insert(key);
+    return finish(Status::OK());
+  }
   index_old = packed.value();
   index_removed = true;
   return finish(part.index->Remove(key));
 }
 
-Result<uint64_t> KvService::Begin(uint64_t key_hint) {
+Result<uint64_t> KvService::Begin(uint64_t key_hint, uint64_t owner) {
   uint32_t p = PartitionOfKey(key_hint);
   Part& part = parts_[p];
-  engine::TxnId t = part.db->Begin(/*use_locks=*/true);
+  auto ts = std::make_unique<TxnState>();
+  ts->txn = part.db->Begin(/*use_locks=*/true);
+  ts->owner = owner;
   part.open_txns++;
   std::lock_guard<std::mutex> l(txn_mu_);
   uint64_t handle = (static_cast<uint64_t>(p) << 48) |
                     (next_handle_++ & 0xFFFFFFFFFFFFull);
-  open_txns_[handle] = t;
+  open_txns_[handle] = std::move(ts);
   return handle;
 }
 
 RStatus KvService::Commit(uint64_t handle) {
-  engine::TxnId t;
-  {
-    std::lock_guard<std::mutex> l(txn_mu_);
-    auto it = open_txns_.find(handle);
-    if (it == open_txns_.end()) return RStatus::kBadRequest;
-    t = it->second;
-    open_txns_.erase(it);
-  }
+  std::unique_ptr<TxnState> ts = TakeTxn(handle);
+  if (ts == nullptr) return RStatus::kBadRequest;
   Part& part = parts_[PartitionOfHandle(handle)];
-  Status s = part.db->Commit(t);
+  // Split commit: the deferred index removals for deleted keys apply only
+  // once the commit record is in. CommitRecord fails only for a transaction
+  // the engine no longer knows (crash recovery owns that state), in which
+  // case the index is left alone for RebuildIndexes.
+  Status s = part.db->CommitRecord(ts->txn);
+  if (s.ok()) {
+    for (uint64_t key : ts->tombstones) (void)part.index->Remove(key);
+    s = part.db->RunCommitMaintenance();
+  }
   part.open_txns--;
   return WireStatus(s);
 }
 
 RStatus KvService::Abort(uint64_t handle) {
-  engine::TxnId t;
-  {
-    std::lock_guard<std::mutex> l(txn_mu_);
-    auto it = open_txns_.find(handle);
-    if (it == open_txns_.end()) return RStatus::kBadRequest;
-    t = it->second;
-    open_txns_.erase(it);
-  }
+  std::unique_ptr<TxnState> ts = TakeTxn(handle);
+  if (ts == nullptr) return RStatus::kBadRequest;
   Part& part = parts_[PartitionOfHandle(handle)];
-  Status s = part.db->Abort(t);
+  Status s = part.db->Abort(ts->txn);
+  RestoreIndex(part, *ts);
   part.open_txns--;
   return WireStatus(s);
 }
 
 void KvService::AbortAll() {
-  std::lock_guard<std::mutex> l(txn_mu_);
-  for (const auto& [handle, txn] : open_txns_) {
+  std::unordered_map<uint64_t, std::unique_ptr<TxnState>> taken;
+  {
+    std::lock_guard<std::mutex> l(txn_mu_);
+    taken.swap(open_txns_);
+  }
+  for (const auto& [handle, ts] : taken) {
     Part& part = parts_[PartitionOfHandle(handle)];
-    (void)part.db->Abort(txn);
+    (void)part.db->Abort(ts->txn);
+    RestoreIndex(part, *ts);
     part.open_txns--;
   }
-  open_txns_.clear();
+}
+
+std::vector<uint64_t> KvService::HandlesOwnedBy(uint64_t owner) const {
+  std::vector<uint64_t> out;
+  if (owner == 0) return out;  // 0 marks unowned handles, never a connection
+  std::lock_guard<std::mutex> l(txn_mu_);
+  for (const auto& [handle, ts] : open_txns_) {
+    if (ts->owner == owner) out.push_back(handle);
+  }
+  return out;
 }
 
 Status KvService::RebuildIndexes() {

@@ -22,6 +22,19 @@
 // kRetry (the lock table returns Busy rather than blocking). Cross-partition
 // transactions exist in the engine (ShardedDatabase::CrossTxn) but are not
 // yet exposed over the wire.
+//
+// Index consistency under abort: the B+-tree is not WAL-logged, so the
+// engine's undo never sees index mutations. Each interactive transaction
+// therefore records, per touched key, the committed index state at its
+// first index mutation and replays it on Abort (and on AbortAll). DELETE
+// does not remove the index entry eagerly: the entry keeps pointing at the
+// transaction's exclusively locked dead slot — so concurrent writers of the
+// key conflict (kRetry) instead of inserting a duplicate tuple — and the
+// removal is deferred to Commit; the transaction's own reads treat such
+// keys as deleted via a tombstone set. Eagerly visible index entries
+// (inserts, move re-points) always point at slots the transaction holds
+// exclusive locks on, which is what makes the recorded undo state safe to
+// replay: no concurrent operation can re-point the entry in between.
 
 #pragma once
 
@@ -30,6 +43,7 @@
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -71,7 +85,10 @@ class KvService {
 
   /// Open a transaction homed on PartitionOfKey(key_hint). The returned wire
   /// handle encodes the partition (top 16 bits) over the engine TxnId.
-  Result<uint64_t> Begin(uint64_t key_hint);
+  /// `owner` tags the handle with the opening connection (0 = unowned) so
+  /// the transport can abort a dead client's transactions; see
+  /// HandlesOwnedBy.
+  Result<uint64_t> Begin(uint64_t key_hint, uint64_t owner = 0);
   static uint32_t PartitionOfHandle(uint64_t handle) {
     return static_cast<uint32_t>(handle >> 48);
   }
@@ -85,6 +102,9 @@ class KvService {
     std::lock_guard<std::mutex> l(txn_mu_);
     return open_txns_.size();
   }
+  /// Handles opened with `owner` that are still live. Safe from any thread;
+  /// the caller routes each Abort to the handle's home partition.
+  std::vector<uint64_t> HandlesOwnedBy(uint64_t owner) const;
 
   // -- Durability / recovery -------------------------------------------------
 
@@ -111,6 +131,25 @@ class KvService {
     uint32_t index_rebuilds = 0;
   };
 
+  /// Per interactive transaction. The map slot is guarded by txn_mu_; the
+  /// fields are touched only on the home partition's thread (plus AbortAll
+  /// after quiesce), so they need no lock of their own.
+  struct TxnState {
+    engine::TxnId txn = 0;
+    uint64_t owner = 0;  ///< Connection id from Begin (0 = unowned).
+    /// Committed index state of a key at the txn's first index mutation of
+    /// it; replayed verbatim on abort (header comment explains why that is
+    /// race-free).
+    struct KeyUndo {
+      bool present = false;
+      uint64_t packed = 0;
+    };
+    std::unordered_map<uint64_t, KeyUndo> undo;
+    /// Keys this txn deleted: hidden from its reads, index entry kept until
+    /// Commit removes it (or Abort forgets it).
+    std::unordered_set<uint64_t> tombstones;
+  };
+
   explicit KvService(std::vector<Part> parts) : parts_(std::move(parts)) {}
 
   /// Map an engine status onto the wire: Busy/Aborted -> kRetry (caller
@@ -122,14 +161,20 @@ class KvService {
   /// unless an interactive txn is open on the partition.
   engine::TxnId BeginAuto(Part& part);
 
-  Part* PartOfTxnOr(uint64_t handle, uint32_t expected_part,
-                    engine::TxnId* txn);
+  /// Resolve a live handle homed on `expected_part`, else nullptr. The
+  /// returned state stays valid until Commit/Abort on the same thread
+  /// (unordered_map references survive rehash).
+  TxnState* StateOfTxn(uint64_t handle, uint32_t expected_part);
+  /// Remove the handle from the table and take ownership of its state.
+  std::unique_ptr<TxnState> TakeTxn(uint64_t handle);
+  /// Replay the recorded committed index state of every key `ts` mutated.
+  void RestoreIndex(Part& part, const TxnState& ts);
 
   std::vector<Part> parts_;
-  /// Wire handle -> engine txn id (all handles are partition-tagged). Guarded
-  /// by txn_mu_: partition workers resolve handles concurrently.
+  /// Wire handle -> transaction state (all handles are partition-tagged).
+  /// Guarded by txn_mu_: partition workers resolve handles concurrently.
   mutable std::mutex txn_mu_;
-  std::unordered_map<uint64_t, engine::TxnId> open_txns_;
+  std::unordered_map<uint64_t, std::unique_ptr<TxnState>> open_txns_;
   uint64_t next_handle_ = 1;
 };
 

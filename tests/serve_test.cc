@@ -109,6 +109,144 @@ TEST(KvService, TxnCommitAndAbort) {
   EXPECT_EQ(got, v1);
 }
 
+TEST(KvService, AbortRollsBackIndexDelete) {
+  Bed b = MakeBed(2, /*threaded=*/false);
+  KvService& kv = *b.kv;
+  uint64_t key = 21;
+  uint32_t p = kv.PartitionOfKey(key);
+  std::vector<uint8_t> v1 = ValueBytes(key, 1, 64);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, v1), RStatus::kOk);
+
+  // BEGIN; DELETE k; ABORT — the committed tuple must stay reachable.
+  auto h = kv.Begin(key);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(kv.Delete(p, h.value(), key), RStatus::kOk);
+  std::vector<uint8_t> got;
+  EXPECT_EQ(kv.Get(p, h.value(), key, &got), RStatus::kNotFound);  // own view
+  EXPECT_EQ(kv.Delete(p, h.value(), key), RStatus::kNotFound);  // idempotent
+  ASSERT_EQ(kv.Abort(h.value()), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v1);
+
+  // The revived key is still a single index entry backed by a single live
+  // tuple: an overwrite resolves to it, and the key count stays 1.
+  std::vector<uint8_t> v2 = ValueBytes(key, 2, 64);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, v2), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v2);
+  auto n = kv.KeyCount(p);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u);
+}
+
+TEST(KvService, AbortRollsBackIndexInsert) {
+  Bed b = MakeBed(2, /*threaded=*/false);
+  KvService& kv = *b.kv;
+  uint64_t key = 34;
+  uint32_t p = kv.PartitionOfKey(key);
+
+  // BEGIN; PUT new-k; ABORT — no dangling index entry to the dead slot.
+  auto h = kv.Begin(key);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(kv.Put(p, h.value(), key, ValueBytes(key, 1, 48)), RStatus::kOk);
+  ASSERT_EQ(kv.Abort(h.value()), RStatus::kOk);
+  std::vector<uint8_t> got;
+  EXPECT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kNotFound);
+  auto n = kv.KeyCount(p);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+
+  // A later autocommit PUT of the same key must succeed and be readable.
+  std::vector<uint8_t> v2 = ValueBytes(key, 2, 48);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, v2), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v2);
+}
+
+TEST(KvService, AbortRollsBackIndexMove) {
+  Bed b = MakeBed(2, /*threaded=*/false);
+  KvService& kv = *b.kv;
+  uint64_t key = 55;
+  uint32_t p = kv.PartitionOfKey(key);
+  std::vector<uint8_t> v1 = ValueBytes(key, 1, 32);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, v1), RStatus::kOk);
+
+  // Grow the tuple far past its slot inside a transaction (resize/move
+  // path re-points the index entry), then abort: the original value and
+  // index entry must come back.
+  auto h = kv.Begin(key);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(kv.Put(p, h.value(), key, ValueBytes(key, 2, 900)), RStatus::kOk);
+  ASSERT_EQ(kv.Abort(h.value()), RStatus::kOk);
+  std::vector<uint8_t> got;
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v1);
+}
+
+TEST(KvService, DeleteThenPutInTxn) {
+  Bed b = MakeBed(2, /*threaded=*/false);
+  KvService& kv = *b.kv;
+  uint64_t key = 72;
+  uint32_t p = kv.PartitionOfKey(key);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, ValueBytes(key, 1, 64)), RStatus::kOk);
+
+  // DELETE then PUT of the same key inside one transaction, committed: the
+  // new value wins and exactly one index entry remains.
+  auto h = kv.Begin(key);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(kv.Delete(p, h.value(), key), RStatus::kOk);
+  std::vector<uint8_t> v2 = ValueBytes(key, 2, 80);
+  ASSERT_EQ(kv.Put(p, h.value(), key, v2), RStatus::kOk);
+  std::vector<uint8_t> got;
+  ASSERT_EQ(kv.Get(p, h.value(), key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v2);
+  ASSERT_EQ(kv.Commit(h.value()), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v2);
+  auto n = kv.KeyCount(p);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u);
+
+  // And the aborted variant rolls all of it back.
+  auto h2 = kv.Begin(key);
+  ASSERT_TRUE(h2.ok());
+  ASSERT_EQ(kv.Delete(p, h2.value(), key), RStatus::kOk);
+  ASSERT_EQ(kv.Put(p, h2.value(), key, ValueBytes(key, 3, 48)), RStatus::kOk);
+  ASSERT_EQ(kv.Abort(h2.value()), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v2);
+}
+
+TEST(KvService, OpenTxnDeleteConflictsInsteadOfDuplicating) {
+  Bed b = MakeBed(2, /*threaded=*/false);
+  KvService& kv = *b.kv;
+  uint64_t key = 90;
+  uint32_t p = kv.PartitionOfKey(key);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, ValueBytes(key, 1, 64)), RStatus::kOk);
+
+  // While a transaction holds a delete of k, a concurrent autocommit PUT of
+  // k must conflict (the kept index entry routes it onto the locked slot)
+  // rather than inserting a duplicate tuple.
+  auto h = kv.Begin(key);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(kv.Delete(p, h.value(), key), RStatus::kOk);
+  EXPECT_EQ(kv.Put(p, kAutoCommit, key, ValueBytes(key, 2, 64)),
+            RStatus::kRetry);
+  EXPECT_EQ(kv.Delete(p, kAutoCommit, key), RStatus::kRetry);
+  ASSERT_EQ(kv.Commit(h.value()), RStatus::kOk);
+
+  // After commit the key is gone and the retried PUT lands cleanly.
+  std::vector<uint8_t> got;
+  EXPECT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kNotFound);
+  std::vector<uint8_t> v3 = ValueBytes(key, 3, 64);
+  ASSERT_EQ(kv.Put(p, kAutoCommit, key, v3), RStatus::kOk);
+  ASSERT_EQ(kv.Get(p, kAutoCommit, key, &got), RStatus::kOk);
+  EXPECT_EQ(got, v3);
+  auto n = kv.KeyCount(p);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u);
+}
+
 TEST(KvService, BadRequests) {
   Bed b = MakeBed(4, /*threaded=*/false);
   KvService& kv = *b.kv;

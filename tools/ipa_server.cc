@@ -12,8 +12,8 @@
 // printed and flushed; scripts wait for it before starting clients.
 //
 // Usage: ipa_server [--port N] [--workers N] [--keys N] [--inflight-budget N]
-//                   [--retry-hint-us N] [--conn-out-cap BYTES] [--sequential]
-//                   [--metrics-json PATH]
+//                   [--retry-hint-us N] [--conn-out-cap BYTES]
+//                   [--max-open-txns N] [--sequential] [--metrics-json PATH]
 
 #include <csignal>
 #include <cstdio>
@@ -46,6 +46,7 @@ int Main(int argc, char** argv) {
   uint32_t inflight_budget = 32;
   uint32_t retry_hint_us = 200;
   uint32_t conn_out_cap = 1u << 20;
+  uint32_t max_open_txns = 1024;
   bool threaded = true;
 
   for (int i = 1; i < argc; i++) {
@@ -69,6 +70,8 @@ int Main(int argc, char** argv) {
       retry_hint_us = static_cast<uint32_t>(std::atoi(v));
     } else if (const char* v = value("--conn-out-cap")) {
       conn_out_cap = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--max-open-txns")) {
+      max_open_txns = static_cast<uint32_t>(std::atoi(v));
     } else if (arg == "--sequential") {
       threaded = false;
     } else if (arg == "--metrics-json") {
@@ -144,6 +147,7 @@ int Main(int argc, char** argv) {
   net::EpollServer::Config cfg;
   cfg.port = port;
   cfg.conn_out_cap = conn_out_cap;
+  cfg.max_open_txns = max_open_txns;
   net::EpollServer server(bed->sharded.get(), kv.get(), &ac, cfg);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "ipa_server: start: %s\n", s.ToString().c_str());
@@ -179,16 +183,23 @@ int Main(int argc, char** argv) {
       .Set(static_cast<int64_t>(st.protocol_fatal));
   metrics::Gauge("server.dropped_slow")
       .Set(static_cast<int64_t>(st.dropped_slow));
+  metrics::Gauge("server.dropped_flooded")
+      .Set(static_cast<int64_t>(st.dropped_flooded));
+  metrics::Gauge("server.txn_aborted_on_close")
+      .Set(static_cast<int64_t>(st.txn_aborted_on_close));
   std::printf(
       "ipa_server: shutdown complete (conns %llu, requests %llu, responses "
-      "%llu, shed %llu, bad %llu, fatal %llu, slow-dropped %llu)\n",
+      "%llu, shed %llu, bad %llu, fatal %llu, slow-dropped %llu, "
+      "flood-dropped %llu, orphan-txns-aborted %llu)\n",
       static_cast<unsigned long long>(st.accepted),
       static_cast<unsigned long long>(st.requests),
       static_cast<unsigned long long>(st.responses),
       static_cast<unsigned long long>(st.shed),
       static_cast<unsigned long long>(st.bad_requests),
       static_cast<unsigned long long>(st.protocol_fatal),
-      static_cast<unsigned long long>(st.dropped_slow));
+      static_cast<unsigned long long>(st.dropped_slow),
+      static_cast<unsigned long long>(st.dropped_flooded),
+      static_cast<unsigned long long>(st.txn_aborted_on_close));
   return 0;
 }
 
