@@ -33,6 +33,7 @@ struct Testbed {
   flash::FlashArray dev;
   ftl::NoFtl noftl;                       // kNoFtl stacks only
   std::unique_ptr<ftl::PageFtl> pageftl;  // page-FTL stacks only
+  std::unique_ptr<ftl::StreamFtl> streamftl;  // kStreamFtl stacks only
   /// The tablespace's backend, whichever stack is active.
   ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;
@@ -77,18 +78,28 @@ struct Testbed {
       IPA_RETURN_NOT_OK(t.status());
       ts = t.value();
     } else {
-      ftl::PageFtlConfig pc;
-      pc.name = "sweep";
-      pc.logical_pages = 256;
-      pc.gc_policy = kind == workload::Backend::kPageFtlGreedy
-                         ? ftl::GcPolicy::kGreedy
-                         : ftl::GcPolicy::kCostBenefit;
-      auto pf = ftl::PageFtl::Create(&dev, pc);
-      IPA_RETURN_NOT_OK(pf.status());
-      pageftl = std::move(pf).value();
-      backend = pageftl.get();
+      if (kind == workload::Backend::kStreamFtl) {
+        ftl::StreamFtlConfig sc;
+        sc.name = "sweep";
+        sc.logical_pages = 256;
+        auto sf = ftl::StreamFtl::Create(&dev, sc);
+        IPA_RETURN_NOT_OK(sf.status());
+        streamftl = std::move(sf).value();
+        backend = streamftl.get();
+      } else {
+        ftl::PageFtlConfig pc;
+        pc.name = "sweep";
+        pc.logical_pages = 256;
+        pc.gc_policy = kind == workload::Backend::kPageFtlGreedy
+                           ? ftl::GcPolicy::kGreedy
+                           : ftl::GcPolicy::kCostBenefit;
+        auto pf = ftl::PageFtl::Create(&dev, pc);
+        IPA_RETURN_NOT_OK(pf.status());
+        pageftl = std::move(pf).value();
+        backend = pageftl.get();
+      }
       db = std::make_unique<engine::Database>(nullptr, ec, &dev.clock());
-      auto t = db->CreateTablespaceOn("sweep", pageftl.get(), {});
+      auto t = db->CreateTablespaceOn("sweep", backend, {});
       IPA_RETURN_NOT_OK(t.status());
       ts = t.value();
     }

@@ -17,6 +17,7 @@
 #include "flash/timing.h"
 #include "ftl/noftl.h"
 #include "ftl/page_ftl.h"
+#include "ftl/stream_ftl.h"
 #include "storage/page_format.h"
 
 namespace ipa::check {
@@ -24,8 +25,8 @@ namespace ipa::check {
 namespace {
 
 constexpr const char* kScheduleNames[kNumSchedules] = {
-    "slc",       "slc-noneager", "pslc",   "oddmlc",
-    "slc-noecc", "pageftl",      "sharded"};
+    "slc",       "slc-noneager", "pslc",    "oddmlc",
+    "slc-noecc", "pageftl",      "sharded", "streamftl"};
 
 constexpr const char* kKindNames[] = {
     "insert", "update",     "resize",     "delete", "read",      "commit",
@@ -42,8 +43,9 @@ std::vector<uint8_t> Payload(uint64_t seed, size_t n) {
 /// One fully private simulated stack (same shape as the crash sweep's).
 struct Testbed {
   flash::FlashArray dev;
-  ftl::NoFtl noftl;                       // kPageFtl schedules leave it idle
+  ftl::NoFtl noftl;                       // cooked-FTL schedules leave it idle
   std::unique_ptr<ftl::PageFtl> pageftl;  // kPageFtl schedules only
+  std::unique_ptr<ftl::StreamFtl> streamftl;  // kStreamFtl schedules only
   /// The stack's FTL backend, whichever flavor is active.
   ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;
@@ -83,22 +85,34 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   auto tb = std::make_unique<Testbed>(g, flash::TimingFor(g.cell_type));
 
   engine::EngineConfig pec;
-  if (s == Schedule::kPageFtl) {
+  if (s == Schedule::kPageFtl || s == Schedule::kStreamFtl) {
     // Cooked-device stack: page-mapping FTL instead of a NoFTL region, no
-    // scheme (write_delta is structurally impossible behind it).
-    ftl::PageFtlConfig pc;
-    pc.name = ScheduleName(s);
-    pc.logical_pages = 256;
-    pc.gc_policy = ftl::GcPolicy::kCostBenefit;
-    IPA_ASSIGN_OR_RETURN(tb->pageftl, ftl::PageFtl::Create(&tb->dev, pc));
-    tb->backend = tb->pageftl.get();
+    // scheme (write_delta is structurally impossible behind it). The
+    // stream-aware flavor takes the same stack; the Database's buffer pool
+    // tags its writebacks (heap vs index) and GC relocations segregate
+    // below the block interface.
+    if (s == Schedule::kStreamFtl) {
+      ftl::StreamFtlConfig sc;
+      sc.name = ScheduleName(s);
+      sc.logical_pages = 256;
+      IPA_ASSIGN_OR_RETURN(tb->streamftl,
+                           ftl::StreamFtl::Create(&tb->dev, sc));
+      tb->backend = tb->streamftl.get();
+    } else {
+      ftl::PageFtlConfig pc;
+      pc.name = ScheduleName(s);
+      pc.logical_pages = 256;
+      pc.gc_policy = ftl::GcPolicy::kCostBenefit;
+      IPA_ASSIGN_OR_RETURN(tb->pageftl, ftl::PageFtl::Create(&tb->dev, pc));
+      tb->backend = tb->pageftl.get();
+    }
     pec.page_size = g.page_size;
     pec.buffer_pages = 12;
     pec.log_capacity_bytes = 1 << 20;
     pec.log_reclaim_threshold = 0.375;
     tb->db = std::make_unique<engine::Database>(nullptr, pec, &tb->dev.clock());
     IPA_ASSIGN_OR_RETURN(
-        tb->ts, tb->db->CreateTablespaceOn("fuzz", tb->pageftl.get(), {}));
+        tb->ts, tb->db->CreateTablespaceOn("fuzz", tb->backend, {}));
     IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
     IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
     return tb;
@@ -351,7 +365,11 @@ class Runner {
     if (!tb_->dev.powered_on()) {
       return Status::Internal("device left powered off after op handling");
     }
-    if (cfg_.schedule == Schedule::kPageFtl) {
+    if (cfg_.schedule == Schedule::kPageFtl ||
+        cfg_.schedule == Schedule::kStreamFtl) {
+      // Both cooked FTLs honor the same conservation contract: every device
+      // program is a host write or a GC migration, every erase is a GC
+      // erase, and no deltas exist below the block interface.
       return CheckPageFtlCounterConservation(tb_->dev.stats(),
                                              tb_->backend->stats(),
                                              tb_->db->buffer_pool().stats());
@@ -378,7 +396,8 @@ class Runner {
       return shadow_.ObserveAndCheck(tb_->dev);
     }
     IPA_RETURN_NOT_OK(tb_->backend->Audit());
-    if (cfg_.schedule != Schedule::kPageFtl) {
+    if (cfg_.schedule != Schedule::kPageFtl &&
+        cfg_.schedule != Schedule::kStreamFtl) {
       // Delta areas only exist on NoFTL regions; behind a page-mapping FTL
       // every page body is an opaque host image.
       IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
@@ -583,12 +602,17 @@ class Runner {
         // maintenance it runs on its own is a GC pass.
         Status s = cfg_.schedule == Schedule::kPageFtl
                        ? tb_->pageftl->CollectOnce()
+                   : cfg_.schedule == Schedule::kStreamFtl
+                       ? tb_->streamftl->CollectOnce()
                        : tb_->noftl.ScrubRegion(tb_->region, op.a % 4 == 0);
         if (s.IsOutOfSpace()) return Status::OK();
         return s;
       }
       case Op::Kind::kWearLevel: {
-        if (cfg_.schedule == Schedule::kPageFtl) return Status::OK();
+        if (cfg_.schedule == Schedule::kPageFtl ||
+            cfg_.schedule == Schedule::kStreamFtl) {
+          return Status::OK();  // cooked FTLs wear-level internally via GC
+        }
         uint32_t spread = 2 + static_cast<uint32_t>(op.a % 6);
         Status s = tb_->noftl.WearLevelRegion(tb_->region, spread);
         if (s.IsOutOfSpace()) return Status::OK();

@@ -44,8 +44,12 @@ enum class Schedule : uint8_t {
                  ///< cross-partition txns on the locking path, power cuts,
                  ///< per-partition WAL recovery. Oracles run against the
                  ///< union of both partitions (stats summed per layer).
+  kStreamFtl,    ///< Stream-aware page-mapping FTL (per-stream frontiers,
+                 ///< warm/cold GC): tagged writes, OOB reverse-map mounts
+                 ///< carrying the stream byte, GC/mount ops torn by power
+                 ///< cuts, counter conservation across all frontiers.
 };
-constexpr int kNumSchedules = 7;
+constexpr int kNumSchedules = 8;
 
 const char* ScheduleName(Schedule s);
 bool ParseSchedule(const std::string& name, Schedule* out);

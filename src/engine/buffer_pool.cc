@@ -155,6 +155,11 @@ Status BufferPool::FlushFrame(Frame* frame, bool async) {
       dev_ok, config_.record_update_sizes);
   if (config_.record_update_sizes && flash_exists) RecordTrace(*frame, d);
 
+  // Stream classification for stream-aware devices; kUntagged without a
+  // classifier keeps the legacy WritePage behavior bit-identical.
+  ftl::StreamTag tag =
+      config_.stream_of ? config_.stream_of(frame->id) : ftl::StreamTag::kUntagged;
+
   switch (d.path) {
     case core::WritePath::kClean:
       stats_.clean_diff_skips++;
@@ -172,7 +177,10 @@ Status BufferPool::FlushFrame(Frame* frame, bool async) {
         stats_.ipa_fallbacks++;
         Pm().ipa_fallbacks.Inc();
         view.ResetDeltaArea();
-        IPA_RETURN_NOT_OK(dev->WritePage(lba, frame->cur.data(), !async));
+        // A page that accumulated small deltas and is now folded back: the
+        // delta-writeback stream, regardless of object classification.
+        IPA_RETURN_NOT_OK(dev->WriteTagged(lba, frame->cur.data(), !async,
+                                           ftl::StreamTag::kDeltaWriteback));
         stats_.oop_flushes++;
         Pm().oop_flushes.Inc();
         if (config_.io_trace) {
@@ -195,7 +203,7 @@ Status BufferPool::FlushFrame(Frame* frame, bool async) {
     case core::WritePath::kOutOfPlace: {
       storage::SlottedPage view(frame->cur.data(), config_.page_size);
       ensure_log_durable_(view.page_lsn());
-      IPA_RETURN_NOT_OK(dev->WritePage(lba, frame->cur.data(), !async));
+      IPA_RETURN_NOT_OK(dev->WriteTagged(lba, frame->cur.data(), !async, tag));
       stats_.oop_flushes++;
       Pm().oop_flushes.Inc();
       if (config_.io_trace) {

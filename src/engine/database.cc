@@ -62,6 +62,14 @@ Database::Database(ftl::NoFtl* ftl, EngineConfig config, SimClock* clock)
   bc.cleaner_async = config_.cleaner_async;
   bc.record_update_sizes = config_.record_update_sizes;
   if (config_.record_io_trace) bc.io_trace = &io_trace_;
+  // Stream classifier for stream-aware devices (ftl::StreamFtl): pages
+  // handed out by AllocateIndexPage carry kIndex, everything else kHeap.
+  // Tag-oblivious devices drop the tag (WriteTagged's default), so this is
+  // behavior-neutral for NoFTL regions, PageFtl and BlackboxSsd.
+  bc.stream_of = [this](PageId id) {
+    return index_pages_.count(id.raw) ? ftl::StreamTag::kIndex
+                                      : ftl::StreamTag::kHeap;
+  };
   pool_ = std::make_unique<BufferPool>(
       bc, [this](TablespaceId ts) { return tablespaces_[ts].device; },
       [this](Lsn lsn) { ForceLogTo(lsn); });

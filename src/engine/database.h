@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -137,9 +138,12 @@ class Database {
 
   /// Allocate and format a fresh page for index structures (format record is
   /// redo-only; index content itself is not WAL-logged — see engine/btree.h).
+  /// The page is remembered as index-class so its writebacks carry
+  /// ftl::StreamTag::kIndex on stream-aware devices.
   Result<PageId> AllocateIndexPage(TableId table) {
     PageId id;
     IPA_RETURN_NOT_OK(AllocatePage(table, &id, kInvalidTxn));
+    index_pages_.insert(id.raw);
     return id;
   }
 
@@ -245,6 +249,8 @@ class Database {
   LockManager locks_;
   std::vector<Tablespace> tablespaces_;
   std::vector<Table> tables_;
+  /// PageId.raw of pages allocated for index structures (stream classifier).
+  std::unordered_set<uint64_t> index_pages_;
   std::unordered_map<TxnId, TxnState> txns_;
   TxnId next_txn_ = 1;
   TxnStats txn_stats_;

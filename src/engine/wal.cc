@@ -1,5 +1,6 @@
 #include "engine/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -67,12 +68,55 @@ void Wal::FlushTo(Lsn lsn) {
   // Find the end of the record containing/starting at `lsn`.
   if (lsn >= end_lsn_) {
     durable_ = end_lsn_;
+    MirrorDurable();
     return;
   }
   if (lsn < base_) return;  // already truncated => long durable
   uint32_t len = DecodeU32(&buf_[lsn - base_]);
   Lsn rec_end = lsn + len;
   if (rec_end > durable_) durable_ = rec_end;
+  MirrorDurable();
+}
+
+void Wal::FlushAll() {
+  durable_ = end_lsn_;
+  MirrorDurable();
+}
+
+void Wal::BindLogDevice(ftl::PageDevice* device, ftl::Lba base_lba,
+                        uint64_t capacity_pages) {
+  log_dev_ = device;
+  log_base_lba_ = base_lba;
+  log_capacity_pages_ = capacity_pages;
+  mirrored_ = durable_;
+}
+
+void Wal::MirrorDurable() {
+  if (log_dev_ == nullptr || log_capacity_pages_ == 0 || durable_ <= mirrored_) {
+    return;
+  }
+  const uint32_t ps = log_dev_->page_size();
+  uint64_t first = mirrored_ / ps;
+  uint64_t last = (durable_ - 1) / ps;
+  std::vector<uint8_t> page(ps, 0);
+  for (uint64_t p = first; p <= last; p++) {
+    std::fill(page.begin(), page.end(), 0);
+    Lsn pstart = static_cast<Lsn>(p) * ps;
+    // Only durable bytes are mirrored; bytes below base_ were truncated
+    // away (the ring has long overwritten them) and read as zero.
+    Lsn from = std::max<Lsn>(pstart, base_);
+    Lsn to = std::min<Lsn>(pstart + ps, durable_);
+    if (to > from) {
+      std::memcpy(page.data() + (from - pstart), &buf_[from - base_],
+                  to - from);
+    }
+    // Best-effort: a failed mirror write must not fail the log force (the
+    // in-memory log is the durability source of truth).
+    (void)log_dev_->WriteTagged(log_base_lba_ + (p % log_capacity_pages_),
+                                page.data(), /*sync=*/true,
+                                ftl::StreamTag::kWal);
+  }
+  mirrored_ = durable_;
 }
 
 Result<LogRecord> Wal::Read(Lsn lsn) const {

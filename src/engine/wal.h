@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "engine/types.h"
+#include "ftl/page_device.h"
 
 namespace ipa::engine {
 
@@ -59,8 +60,17 @@ class Wal {
 
   /// Ensure everything up to and including `lsn` is durable (WAL rule).
   void FlushTo(Lsn lsn);
-  void FlushAll() { durable_ = end_lsn_; }
+  void FlushAll();
   Lsn durable_lsn() const { return durable_; }
+
+  /// Mirror newly-durable log bytes onto a flash-backed PageDevice as
+  /// ftl::StreamTag::kWal-tagged page writes (a ring of `capacity_pages`
+  /// pages starting at `base_lba`). Off by default — the log normally lives
+  /// on its own in-memory volume, exactly as before — and best-effort: a
+  /// failed mirror write never fails the log force. This is how the WAL
+  /// stream reaches a stream-aware FTL; pass nullptr to unbind.
+  void BindLogDevice(ftl::PageDevice* device, ftl::Lba base_lba,
+                     uint64_t capacity_pages);
   Lsn end_lsn() const { return end_lsn_; }
   Lsn base_lsn() const { return base_; }
 
@@ -93,11 +103,20 @@ class Wal {
   uint64_t TotalAppended() const { return end_lsn_; }
 
  private:
+  /// Mirror pages covering [mirrored_, durable_) to the bound log device.
+  void MirrorDurable();
+
   uint64_t capacity_;
   std::vector<uint8_t> buf_;   // holds [base_, end_lsn_)
   Lsn base_ = 0;
   Lsn end_lsn_ = 0;
   Lsn durable_ = 0;
+
+  /// Optional flash mirror of the durable log (BindLogDevice).
+  ftl::PageDevice* log_dev_ = nullptr;
+  ftl::Lba log_base_lba_ = 0;
+  uint64_t log_capacity_pages_ = 0;
+  Lsn mirrored_ = 0;  ///< Durable bytes already mirrored to the device.
 };
 
 }  // namespace ipa::engine

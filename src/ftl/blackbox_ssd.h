@@ -15,7 +15,12 @@
 //    a vendor-specific scheme-hint control command before write_delta is
 //    accepted, so it can split ECC into ECC_initial + per-delta parts;
 //  * the DBMS gets none of NoFTL's placement/region control; selective IPA
-//    per object is impossible — the hint applies device-wide.
+//    per object is impossible — the hint applies device-wide. The same
+//    opacity rules out per-object write streams: the block interface
+//    carries no StreamTag, so WAL/heap/index writes all land on the
+//    device's internal frontiers interleaved. Stream segregation requires
+//    either NoFTL regions or the host-visible stream-aware FTL
+//    (ftl::StreamFtl, docs/FTL_BACKENDS.md).
 //
 // Internally the FTL is the same page-mapping machinery as a one-region
 // NoFtl (an SSD *is* an FTL in a box); what differs is the interface.
@@ -50,8 +55,11 @@ class BlackboxSsd : public FtlBackend {
   /// Vendor control command: tell the controller where the delta-record
   /// area begins on every page so the on-board ECC can cover the body and
   /// each appended delta separately. Must precede any WriteDelta; applies
-  /// device-wide (no per-object regions on a black-box SSD). May only be
-  /// issued while the device is empty (ECC layout is fixed at format time).
+  /// device-wide (no per-object regions on a black-box SSD, and likewise no
+  /// per-object streams — WriteTagged's StreamTag is dropped at this
+  /// interface; see ftl::StreamFtl for the stream-aware deployment). May
+  /// only be issued while the device is empty (ECC layout is fixed at
+  /// format time).
   Status SetSchemeHint(uint32_t delta_area_offset);
 
   // -- PageDevice -------------------------------------------------------------

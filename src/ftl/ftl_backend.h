@@ -4,13 +4,16 @@
 // FtlBackend extends it with the management plane every backend shares:
 // trim, the mount-time scan recovery runs before ARIES redo, a structural
 // audit for the differential checker, and the statistics the evaluation
-// tables are built from. Three backends implement it:
+// tables are built from. Four backends implement it:
 //
 //  * NoFtl regions (noftl.h)     — DBMS-managed raw flash (Section 5); the
 //    region device returned by NoFtl::region_device() is an FtlBackend;
 //  * PageFtl (page_ftl.h)        — a conventional page-mapping FTL with a
 //    log-structured frontier and greedy / cost-benefit GC, the paper's
 //    implicit "cooked device" baseline;
+//  * StreamFtl (stream_ftl.h)    — the page-mapping FTL extended with
+//    multi-stream write segregation (one frontier per StreamTag per chip)
+//    and warm/cold temperature-driven GC victim selection;
 //  * BlackboxSsd (blackbox_ssd.h) — a conventional SSD with the write_delta
 //    interface extension (Section 7 / conclusions).
 //
@@ -88,7 +91,8 @@ struct MountScanReport {
 /// every completed Mount(), including ones interrupted mid-way.
 class FtlBackend : public PageDevice {
  public:
-  /// Stable identifier for tables / logs ("noftl", "pageftl", "blackbox").
+  /// Stable identifier for tables / logs ("noftl", "pageftl", "streamftl",
+  /// "blackbox").
   virtual const char* backend_name() const = 0;
 
   /// Drop the mapping of a logical page (e.g. file truncation). Backends

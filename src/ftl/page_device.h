@@ -1,12 +1,15 @@
 // PageDevice: the storage interface the engine programs against.
 //
-// Two implementations exist, mirroring the paper's two deployment models:
+// Implementations mirror the paper's deployment models plus one extension:
 //  * NoFTL regions (Section 5)  — the DBMS controls raw flash directly;
 //    NoFtl::region_device() adapts a region to this interface;
 //  * BlackboxSsd (Section 7 / conclusions) — a conventional SSD whose
 //    block-device interface is extended with the write_delta command and a
 //    scheme-hint control command for on-controller ECC, "at the cost of
-//    lower performance compared to IPA under NoFTL".
+//    lower performance compared to IPA under NoFTL";
+//  * PageFtl / StreamFtl (src/ftl/page_ftl.h, src/ftl/stream_ftl.h) — the
+//    cooked-device baselines bench_table12_backend_compare measures the
+//    paper's system against.
 
 #pragma once
 
@@ -18,6 +21,35 @@ namespace ipa::ftl {
 
 using Lba = uint64_t;
 
+/// Logical write stream of a page write (multi-stream SSD style): names the
+/// engine object the page belongs to so a stream-aware device can segregate
+/// data of different update temperatures onto separate write frontiers.
+/// Purely advisory — a device may ignore it (the WriteTagged default does),
+/// and ignoring it must be behavior-identical to WritePage.
+enum class StreamTag : uint8_t {
+  kUntagged = 0,        ///< No classification (legacy WritePage path).
+  kWal = 1,             ///< Write-ahead-log appends (sequential, short-lived).
+  kHeap = 2,            ///< Heap (table) page writeback.
+  kIndex = 3,           ///< B+-tree node writeback.
+  kDeltaWriteback = 4,  ///< Hot pages folded back after small-delta updates.
+  kGcRelocation = 5,    ///< Device-internal GC migration copies (cold).
+};
+
+/// Number of distinct StreamTag values (frontier array bound).
+inline constexpr uint32_t kNumStreams = 6;
+
+inline const char* StreamTagName(StreamTag t) {
+  switch (t) {
+    case StreamTag::kUntagged: return "untagged";
+    case StreamTag::kWal: return "wal";
+    case StreamTag::kHeap: return "heap";
+    case StreamTag::kIndex: return "index";
+    case StreamTag::kDeltaWriteback: return "delta-writeback";
+    case StreamTag::kGcRelocation: return "gc-relocation";
+  }
+  return "?";
+}
+
 class PageDevice {
  public:
   virtual ~PageDevice() = default;
@@ -27,6 +59,17 @@ class PageDevice {
 
   /// Out-of-place write of a full logical page.
   virtual Status WritePage(Lba lba, const uint8_t* data, bool sync) = 0;
+
+  /// WritePage with a stream hint. The default implementation drops the tag
+  /// and delegates to WritePage, so devices without per-stream placement
+  /// (NoFtl regions, PageFtl, BlackboxSsd) stay bit-identical to the
+  /// untagged path. StreamFtl overrides this to route the write to the
+  /// tag's log-structured frontier.
+  virtual Status WriteTagged(Lba lba, const uint8_t* data, bool sync,
+                             StreamTag tag) {
+    (void)tag;
+    return WritePage(lba, data, sync);
+  }
 
   /// write_delta(LBA, offset, delta_length, delta_bytes[]). NotSupported
   /// when the device/page cannot take the append (caller falls back).

@@ -1,0 +1,194 @@
+// StreamFtl: a stream-aware page-mapping FTL with warm/cold GC.
+//
+// PageFtl (page_ftl.h) interleaves every host write onto one frontier per
+// chip, so WAL, heap, index and writeback pages of wildly different update
+// temperatures end up in the same blocks and GC must copy hot and cold data
+// together — the bulk of the ~3x write-amplification gap Table 12 measures
+// against NoFTL+IPA. StreamFtl closes part of that gap from the FTL side,
+// after "Enlightening Flash Storage to Stream Writes by Objects" (multi-
+// stream write segregation) and the warm/cold victim selection from Dayan &
+// Bonnet's page-mapping-FTL GC survey:
+//
+//  * Per-stream frontiers. WriteTagged(lba, data, sync, tag) routes the
+//    write to one log-structured frontier per StreamTag per chip, opened
+//    lazily on first use. Pages that die together (same object, similar
+//    update rate) stay in the same blocks, so victims are mostly-invalid.
+//    Untagged WritePage is WriteTagged(kUntagged): a StreamFtl driven by a
+//    tag-oblivious engine degenerates to exactly a PageFtl.
+//  * GC relocation stream. Migration copies carry kGcRelocation: data that
+//    survived one collection is demonstrably cold and is never re-mixed
+//    with fresh host writes.
+//  * Warm/cold victim selection. Every block tracks an age-weighted
+//    invalidation rate (its temperature): invalidation count over the time
+//    since the mean invalidation instant. The victim score divides the
+//    cost-benefit score (1-u)/(1+u)*age by (1 + temperature*age), so warm
+//    blocks — whose remaining valid pages will likely self-invalidate for
+//    free — are passed over and cold mostly-invalid blocks are reclaimed
+//    first.
+//  * Pressure spill. When no free block is available for a stream's
+//    frontier, the write spills into another stream's open frontier
+//    (counted in streamftl.stream_spills) instead of failing: liveness
+//    equals PageFtl's at the same over-provisioning.
+//
+// Mapping persistence follows PageFtl: a 27-byte OOB reverse-map entry per
+// program (magic, lba, sequence number, data CRC, stream tag, entry CRC)
+// rebuilt by Mount() with latest-wins-by-sequence semantics, data-CRC
+// torn-program quarantine, and lazy re-erase of content-erased blocks.
+// write_delta stays structurally impossible (whole-page ECC, relocation on
+// every write): DeltaWritePossible is always false. See
+// docs/FTL_BACKENDS.md.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/flash_array.h"
+#include "ftl/ftl_backend.h"
+
+namespace ipa::ftl {
+
+struct StreamFtlConfig {
+  std::string name = "streamftl";
+  /// Host-visible capacity in logical pages.
+  uint64_t logical_pages = 0;
+  /// Fraction of extra physical space beyond logical capacity.
+  double over_provisioning = 0.10;
+  /// Run the garbage collector when free blocks drop below this count.
+  uint32_t gc_free_block_threshold = 3;
+};
+
+class StreamFtl : public FtlBackend {
+ public:
+  /// Bytes of one OOB reverse-map entry (must fit the geometry's oob_size):
+  /// the PageFtl layout plus one stream-tag byte.
+  static constexpr uint32_t kOobEntryBytes = 27;
+
+  /// Claims physical blocks from the front of every chip. Fails when the
+  /// device is too small for logical_pages * (1 + over_provisioning) plus GC
+  /// headroom, or its OOB area cannot hold a reverse-map entry. The device
+  /// must outlive the StreamFtl and must not be shared with another FTL.
+  static Result<std::unique_ptr<StreamFtl>> Create(
+      flash::FlashArray* device, const StreamFtlConfig& config);
+
+  // -- PageDevice -------------------------------------------------------------
+  Status ReadPage(Lba lba, uint8_t* out) override;
+  Status WritePage(Lba lba, const uint8_t* data, bool sync) override;
+  Status WriteTagged(Lba lba, const uint8_t* data, bool sync,
+                     StreamTag tag) override;
+  Status WriteDelta(Lba lba, uint32_t offset, const uint8_t* bytes,
+                    uint32_t len, bool sync) override;
+  bool DeltaWritePossible(Lba lba) const override;
+  bool IsMapped(Lba lba) const override;
+  uint32_t page_size() const override { return device_->geometry().page_size; }
+  uint64_t capacity_pages() const override { return config_.logical_pages; }
+
+  // -- FtlBackend management plane --------------------------------------------
+  const char* backend_name() const override { return "streamftl"; }
+  Status Trim(Lba lba) override;
+  /// Discard all RAM state and rebuild the L2P map from the OOB reverse-map
+  /// entries (latest wins by sequence number; data-CRC mismatches are
+  /// quarantined). Idempotent; also legal on a freshly created FTL. All
+  /// frontiers die with power: every content-bearing block closes, every
+  /// temperature resets.
+  Status Mount(MountScanReport* report = nullptr) override;
+  Status Audit() const override;
+  const RegionStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = RegionStats{}; }
+
+  // -- Maintenance / introspection --------------------------------------------
+  /// Run one GC pass unconditionally (fuzzer maintenance op). OK when no
+  /// victim qualifies.
+  Status CollectOnce();
+
+  const StreamFtlConfig& config() const { return config_; }
+  flash::FlashArray& device() { return *device_; }
+  SimClock& clock() { return device_->clock(); }
+  /// Physical page currently backing `lba` (tests / introspection).
+  flash::Ppn PhysicalOf(Lba lba) const;
+  /// Stream whose frontier opened the block currently backing `lba`
+  /// (kUntagged when unmapped). Tests use this to prove segregation — e.g.
+  /// that GC-migrated pages live in kGcRelocation blocks.
+  StreamTag StreamOf(Lba lba) const;
+  size_t free_block_count() const { return free_blocks_.size(); }
+  /// Writes that had to borrow another stream's frontier under space
+  /// pressure (this instance).
+  uint64_t stream_spills() const { return stream_spills_; }
+
+ private:
+  struct BlockInfo {
+    flash::Pbn pbn = 0;
+    uint32_t valid = 0;      ///< Valid (mapped) pages in this block.
+    uint32_t next_page = 0;  ///< Write frontier (page index within block).
+    bool is_free = true;
+    bool is_active = false;
+    /// A free block whose physical erase state is unknown (after Mount):
+    /// erased lazily when promoted to active.
+    bool needs_erase = false;
+    /// Stream whose frontier opened this block (RAM-only; forensic).
+    StreamTag stream = StreamTag::kUntagged;
+    /// Last program into this block (victim-selection age); RAM-only.
+    SimTime last_write = 0;
+    /// Temperature inputs: invalidations since the block was (re)opened and
+    /// the sum of their timestamps, so the age-weighted invalidation rate is
+    /// inv_count / (now - mean invalidation time + 1). RAM-only.
+    uint32_t inv_count = 0;
+    uint64_t inv_time_sum = 0;
+  };
+
+  StreamFtl(flash::FlashArray* device, const StreamFtlConfig& config);
+
+  Status ClaimBlocks();
+  /// Allocate the next frontier page of `stream`, promoting (and lazily
+  /// erasing) free blocks as needed. Host allocations keep one free block in
+  /// reserve for GC migration headroom; under pressure the write spills into
+  /// another stream's open frontier rather than failing.
+  Status AllocatePage(StreamTag stream, flash::Ppn* ppn, uint32_t* block_idx,
+                      bool for_gc);
+  /// Promote the least-worn free block on `chip` to `stream`'s frontier;
+  /// false when the chip has no eligible free block.
+  bool OpenFrontier(StreamTag stream, uint32_t chip, bool for_gc, Status* st);
+  Status RunGcIfNeeded();
+  Status GarbageCollect();
+  /// Victim block index for the warm/cold policy; -1 when none qualifies.
+  int PickVictim() const;
+  void Invalidate(flash::Ppn ppn);
+  uint32_t BlockIndexOf(flash::Ppn ppn) const;
+  int32_t& ActiveSlot(StreamTag stream, uint32_t chip);
+  int32_t ActiveSlot(StreamTag stream, uint32_t chip) const;
+
+  /// Program `data` to `ppn` with a fresh reverse-map OOB entry for `lba`.
+  Status ProgramMapped(flash::Ppn ppn, uint32_t block_idx, Lba lba,
+                       StreamTag stream, const uint8_t* data,
+                       flash::IoTiming* t, bool sync);
+  void EncodeOobEntry(uint8_t* entry, Lba lba, uint64_t seq, uint32_t data_crc,
+                      StreamTag stream) const;
+  /// Decode + verify the entry CRC; false for erased/torn/foreign OOB.
+  bool DecodeOobEntry(const uint8_t* entry, Lba* lba, uint64_t* seq,
+                      uint32_t* data_crc, StreamTag* stream) const;
+
+  flash::FlashArray* device_;
+  StreamFtlConfig config_;
+  std::vector<BlockInfo> blocks_;      // all blocks owned by the FTL
+  std::vector<uint32_t> free_blocks_;  // indices into `blocks_`
+  /// Device pbn -> index into `blocks_`; UINT32_MAX for unowned blocks.
+  std::vector<uint32_t> pbn_to_idx_;
+  /// Active (frontier) block index per (stream, chip); -1 if none. Flat:
+  /// stream * total_chips + chip.
+  std::vector<int32_t> active_;
+  /// Round-robin chip cursor per stream (keeps chip parallelism per stream
+  /// without coupling streams' placement).
+  std::vector<uint32_t> rr_cursor_;
+  std::vector<flash::Ppn> map_;  // lba -> ppn
+  /// Reverse map: block_idx * pages_per_block + page -> lba.
+  std::vector<Lba> rmap_;
+  uint64_t write_seq_ = 0;  ///< Monotonic, consumed per program attempt.
+  uint64_t stream_spills_ = 0;
+  RegionStats stats_;
+};
+
+}  // namespace ipa::ftl

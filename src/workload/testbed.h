@@ -16,6 +16,7 @@
 #include "engine/sharded_database.h"
 #include "flash/submit_queue.h"
 #include "ftl/page_ftl.h"
+#include "ftl/stream_ftl.h"
 #include "workload/workload.h"
 
 namespace ipa::workload {
@@ -32,6 +33,7 @@ enum class Backend {
   kNoFtl,              ///< DBMS-managed region; IPA per the profile/scheme.
   kPageFtlGreedy,      ///< Conventional page-mapping FTL, greedy GC.
   kPageFtlCostBenefit, ///< Conventional page-mapping FTL, cost-benefit GC.
+  kStreamFtl,          ///< Stream-aware page-mapping FTL, warm/cold GC.
 };
 
 const char* BackendName(Backend b);
@@ -65,6 +67,7 @@ struct Testbed {
   std::unique_ptr<flash::FlashArray> dev;
   std::unique_ptr<ftl::NoFtl> noftl;      ///< Backend::kNoFtl stacks only.
   std::unique_ptr<ftl::PageFtl> pageftl;  ///< Page-FTL stacks only.
+  std::unique_ptr<ftl::StreamFtl> streamftl;  ///< Backend::kStreamFtl only.
   /// The tablespace's backend, whichever stack is active.
   ftl::FtlBackend* backend = nullptr;
   std::unique_ptr<engine::Database> db;

@@ -433,11 +433,13 @@ TEST(Differential, ProcessGlobalCounterConservation) {
   EXPECT_EQ(snap.Counter("flash.block_erases"),
             snap.Counter("ftl.gc.erases") +
                 snap.Counter("ftl.wear_level.swaps") +
-                snap.Counter("pageftl.gc.erases"));
+                snap.Counter("pageftl.gc.erases") +
+                snap.Counter("streamftl.gc.erases"));
   EXPECT_GE(snap.Counter("flash.page_programs.lsb") +
                 snap.Counter("flash.page_programs.msb"),
             snap.Counter("ftl.host_page_writes") +
-                snap.Counter("pageftl.host_page_writes"));
+                snap.Counter("pageftl.host_page_writes") +
+                snap.Counter("streamftl.host_page_writes"));
   EXPECT_GT(snap.Counter("flash.delta_programs"), 0u);
 }
 

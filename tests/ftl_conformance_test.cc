@@ -1,10 +1,12 @@
 // FtlBackend conformance suite: every backend (NoFTL region device, PageFtl
-// under either GC policy) must honor the same host-visible contract —
-// fresh pages read erased, writes round-trip, trim drops the mapping,
-// out-of-range LBAs are rejected, data survives GC pressure and power
-// cycles, Mount() is idempotent, a torn write resolves to old-or-new, and
-// Audit() holds after every step. Backend-specific behavior (write_delta
-// availability) is probed through the capability API, never assumed.
+// under either GC policy, StreamFtl) must honor the same host-visible
+// contract — fresh pages read erased, writes round-trip, trim drops the
+// mapping, out-of-range LBAs are rejected, data survives GC pressure and
+// power cycles, Mount() is idempotent, a torn write resolves to old-or-new,
+// and Audit() holds after every step. Backend-specific behavior (write_delta
+// availability) is probed through the capability API, never assumed. The
+// stream-aware backend additionally proves torn-program old-or-new across
+// every write frontier (one tagged write per stream before the tear).
 
 #include <algorithm>
 #include <memory>
@@ -17,12 +19,13 @@
 #include "ftl/ftl_backend.h"
 #include "ftl/noftl.h"
 #include "ftl/page_ftl.h"
+#include "ftl/stream_ftl.h"
 #include "storage/page_format.h"
 
 namespace ipa {
 namespace {
 
-enum class Kind { kNoFtlRegion, kPageFtlGreedy, kPageFtlCostBenefit };
+enum class Kind { kNoFtlRegion, kPageFtlGreedy, kPageFtlCostBenefit, kStreamFtl };
 
 constexpr uint64_t kLogicalPages = 64;
 
@@ -31,6 +34,7 @@ struct Stack {
   std::unique_ptr<flash::FlashArray> dev;
   std::unique_ptr<ftl::NoFtl> noftl;
   std::unique_ptr<ftl::PageFtl> pageftl;
+  std::unique_ptr<ftl::StreamFtl> streamftl;
   ftl::FtlBackend* backend = nullptr;
   // Host-writable prefix of a page image. An IPA region reserves the page
   // tail for the delta area, which must leave the host as erased 0xFF bytes;
@@ -65,6 +69,15 @@ Stack MakeStack(Kind kind) {
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     s.backend = s.noftl->region_device(r.value());
     s.data_bytes = rc.delta_area_offset;
+  } else if (kind == Kind::kStreamFtl) {
+    ftl::StreamFtlConfig sc;
+    sc.name = "conformance";
+    sc.logical_pages = kLogicalPages;
+    auto r = ftl::StreamFtl::Create(s.dev.get(), sc);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    s.streamftl = std::move(r).value();
+    s.backend = s.streamftl.get();
+    s.data_bytes = Geo().page_size;
   } else {
     ftl::PageFtlConfig pc;
     pc.name = "conformance";
@@ -267,16 +280,67 @@ TEST_P(FtlConformance, TornWriteResolvesToOldOrNewImage) {
       << "torn write must resolve to exactly the old or the new image";
 }
 
+// Stream-aware extension of the torn-write check: populate one LBA per
+// stream through WriteTagged (so every frontier is live), then tear an
+// overwrite on each of them in turn. Every page must still resolve to
+// exactly its old or its new image after mount, whichever frontier the torn
+// program was heading for.
+TEST_P(FtlConformance, TornTaggedWriteResolvesOldOrNewAcrossAllFrontiers) {
+  if (GetParam() != Kind::kStreamFtl) {
+    GTEST_SKIP() << "stream frontiers only exist on the stream-aware backend";
+  }
+  std::vector<std::vector<uint8_t>> oldimg(ftl::kNumStreams);
+  for (uint32_t s = 0; s < ftl::kNumStreams; s++) {
+    oldimg[s] = Image(20 + s);
+    ASSERT_TRUE(b().WriteTagged(s, oldimg[s].data(), true,
+                                static_cast<ftl::StreamTag>(s))
+                    .ok());
+  }
+  ASSERT_TRUE(b().Audit().ok());
+
+  for (uint32_t s = 0; s < ftl::kNumStreams; s++) {
+    std::vector<uint8_t> newimg = Image(40 + s);
+    flash::PowerLossPolicy policy;
+    policy.inject_at_op = 0;
+    policy.seed = 0xC0FFEE + s;
+    dev().SetPowerLossPolicy(policy);
+    Status st = b().WriteTagged(s, newimg.data(), true,
+                                static_cast<ftl::StreamTag>(s));
+    EXPECT_FALSE(st.ok()) << "stream " << s << ": power died mid-program";
+
+    dev().PowerCycle();
+    dev().SetPowerLossPolicy(flash::PowerLossPolicy{});
+    ASSERT_TRUE(b().Mount().ok()) << "stream " << s;
+    ASSERT_TRUE(b().Audit().ok()) << "stream " << s;
+
+    std::vector<uint8_t> buf(page_size());
+    ASSERT_TRUE(b().ReadPage(s, buf.data()).ok());
+    EXPECT_TRUE(buf == oldimg[s] || buf == newimg)
+        << "stream " << s
+        << ": torn tagged write must resolve to the old or the new image";
+    if (buf == newimg) oldimg[s] = newimg;  // survived: the new image is now current
+
+    // The other streams' pages must be untouched by this tear.
+    for (uint32_t o = 0; o < ftl::kNumStreams; o++) {
+      if (o == s) continue;
+      ASSERT_TRUE(b().ReadPage(o, buf.data()).ok());
+      EXPECT_EQ(buf, oldimg[o]) << "bystander stream " << o;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, FtlConformance,
                          ::testing::Values(Kind::kNoFtlRegion,
                                            Kind::kPageFtlGreedy,
-                                           Kind::kPageFtlCostBenefit),
+                                           Kind::kPageFtlCostBenefit,
+                                           Kind::kStreamFtl),
                          [](const ::testing::TestParamInfo<Kind>& info) {
                            switch (info.param) {
                              case Kind::kNoFtlRegion: return "NoFtlRegion";
                              case Kind::kPageFtlGreedy: return "PageFtlGreedy";
                              case Kind::kPageFtlCostBenefit:
                                return "PageFtlCostBenefit";
+                             case Kind::kStreamFtl: return "StreamFtl";
                            }
                            return "Unknown";
                          });

@@ -5,7 +5,7 @@
 // injection point fails verification.
 //
 // Knobs: --txns N --accounts N --points N (0 = every op index) --seed N
-//        --backend noftl|pageftl-greedy|pageftl-cb (FTL stack under test)
+//        --backend noftl|pageftl-greedy|pageftl-cb|streamftl (FTL stack under test)
 //        --jobs N (0 = IPA_JOBS / hardware) --json PATH --metrics-json PATH
 // IPA_SCALE scales --txns (CI runs a downscaled sweep with IPA_SCALE=0.05).
 
@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
       cfg.backend = ipa::workload::Backend::kPageFtlGreedy;
     } else if (std::strcmp(b, "pageftl-cb") == 0) {
       cfg.backend = ipa::workload::Backend::kPageFtlCostBenefit;
+    } else if (std::strcmp(b, "streamftl") == 0) {
+      cfg.backend = ipa::workload::Backend::kStreamFtl;
     } else {
       std::fprintf(stderr, "crash_sweep: unknown backend '%s'\n", b);
       return 2;

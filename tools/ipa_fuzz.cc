@@ -8,7 +8,8 @@
 // values. Failures print a repro line; with --shrink a minimized trace too.
 //
 // Knobs: --schedule NAME|all  testbed flavor (slc, slc-noneager, pslc,
-//                             oddmlc, slc-noecc, pageftl; default all)
+//                             oddmlc, slc-noecc, pageftl, sharded,
+//                             streamftl; default all)
 //        --seed S             first seed (default 1)
 //        --seeds N            seeds per schedule (default 1)
 //        --ops K              ops per trace (default 200)
@@ -192,11 +193,13 @@ int main(int argc, char** argv) {
   uint64_t erases = snap.Counter("flash.block_erases");
   uint64_t erase_causes = snap.Counter("ftl.gc.erases") +
                           snap.Counter("ftl.wear_level.swaps") +
-                          snap.Counter("pageftl.gc.erases");
+                          snap.Counter("pageftl.gc.erases") +
+                          snap.Counter("streamftl.gc.erases");
   uint64_t programs = snap.Counter("flash.page_programs.lsb") +
                       snap.Counter("flash.page_programs.msb");
   uint64_t host_pages = snap.Counter("ftl.host_page_writes") +
-                        snap.Counter("pageftl.host_page_writes");
+                        snap.Counter("pageftl.host_page_writes") +
+                        snap.Counter("streamftl.host_page_writes");
   if (delta_programs != host_deltas || erases != erase_causes ||
       programs < host_pages) {
     std::fprintf(stderr,
