@@ -1,0 +1,424 @@
+// Replication cost benchmark (docs/REPLICATION.md).
+//
+// Three deterministic arms over the primary→replica changeset stream:
+//
+//  * steady: replicated TPC-B with per-commit shipping. Reports the frame
+//    mix (delta ops vs full images vs foldbacks), wire bytes per committed
+//    logical byte, and the replica's apply write amplification next to the
+//    primary's — the paper's WA story extended across the wire: a delta
+//    record that fit the IPA budget ships small AND applies small.
+//
+//  * ship lag: ship every K commits for K in {1, 4, 16, 64}. Reports the
+//    maximum outbound queue depth and outstanding wire bytes — the
+//    durability exposure window a deployment buys when it batches shipments.
+//
+//  * catch-up: a cold replica heals either by replaying the full retained
+//    frame tail or by one snapshot ship. Reports frames, wire bytes and
+//    simulated apply time for both paths (tail replay scales with history,
+//    snapshot with live data).
+//
+// All counters are bit-identical for a fixed seed at any IPA_JOBS, so the
+// metrics snapshot is gated against bench/baselines/bench_replication.json.
+//
+// Usage: bench_replication [--txns N] [--accounts N] [--seed N]
+//                          [--metrics-json PATH]
+// IPA_SCALE scales --txns.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "flash/timing.h"
+#include "repl/node.h"
+#include "workload/testbed.h"
+
+namespace ipa::bench {
+namespace {
+
+constexpr uint32_t kAccountBytes = 100;
+constexpr uint32_t kBalanceOffset = 12;
+constexpr uint32_t kHistoryBytes = 20;
+constexpr uint32_t kLoadBatch = 8;
+constexpr uint64_t kCheckpointEvery = 16;
+
+/// One node: private simulated flash + NoFtl + engine + ReplNode.
+struct Node {
+  flash::FlashArray dev;
+  ftl::NoFtl noftl;
+  ftl::FtlBackend* backend = nullptr;
+  std::unique_ptr<engine::Database> db;
+  engine::TablespaceId ts = 0;
+  engine::TableId accounts_tbl = 0;
+  engine::TableId history_tbl = 0;
+  std::unique_ptr<repl::ReplNode> repl;  // after db: hooks detach first
+
+  static flash::Geometry Geo() {
+    flash::Geometry g;
+    g.channels = 2;
+    g.chips_per_channel = 2;
+    g.blocks_per_chip = 48;
+    g.pages_per_block = 16;
+    g.page_size = 2048;
+    return g;
+  }
+
+  Node() : dev(Geo(), flash::SlcTiming()), noftl(&dev) {}
+
+  Status Open(repl::WriterId writer, bool writable) {
+    engine::EngineConfig ec;
+    ec.page_size = Geo().page_size;
+    ec.buffer_pages = 12;
+    ec.log_capacity_bytes = 1 << 20;
+    ec.log_reclaim_threshold = 0.375;
+    storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+    ftl::RegionConfig rc;
+    rc.name = "replbench";
+    rc.logical_pages = 256;
+    rc.ipa_mode = ftl::IpaMode::kSlc;
+    rc.delta_area_offset = Geo().page_size - scheme.AreaBytes();
+    rc.manage_ecc = true;
+    auto r = noftl.CreateRegion(rc);
+    IPA_RETURN_NOT_OK(r.status());
+    backend = noftl.region_device(r.value());
+    db = std::make_unique<engine::Database>(&noftl, ec);
+    auto t = db->CreateTablespace("replbench", r.value(), scheme);
+    IPA_RETURN_NOT_OK(t.status());
+    ts = t.value();
+    auto a = db->CreateTable("account", ts);
+    IPA_RETURN_NOT_OK(a.status());
+    accounts_tbl = a.value();
+    auto h = db->CreateTable("history", ts);
+    IPA_RETURN_NOT_OK(h.status());
+    history_tbl = h.value();
+    auto n = repl::ReplNode::Attach(
+        db.get(), ts, {accounts_tbl, history_tbl},
+        repl::ReplConfig{.writer = writer, .writable = writable});
+    IPA_RETURN_NOT_OK(n.status());
+    repl = std::move(n).value();
+    return Status::OK();
+  }
+
+  uint64_t ProgrammedBytes() const {
+    return dev.stats().bytes_programmed + dev.stats().delta_bytes_programmed;
+  }
+};
+
+std::vector<uint8_t> AccountTuple(uint32_t id) {
+  std::vector<uint8_t> t(kAccountBytes);
+  for (uint32_t j = 0; j < kAccountBytes; j++) {
+    t[j] = static_cast<uint8_t>(id * 7u + j * 13u + 1u);
+  }
+  return t;
+}
+
+struct WorkloadStats {
+  uint64_t commits = 0;
+  uint64_t logical_bytes = 0;  ///< Committed payload: inserts + patch bytes.
+  uint64_t max_queue_frames = 0;
+  uint64_t max_queue_bytes = 0;
+};
+
+/// Replicated TPC-B on `p`, shipping the outbound queue to `r` (when given)
+/// every `ship_every` transactions. Frames can also be captured into `sink`
+/// (the catch-up arm records the retained tail instead of a live replica).
+Status RunWorkload(Node& p, Node* r, uint64_t ship_every, uint64_t txns,
+                   uint32_t accounts, uint64_t seed, WorkloadStats* out,
+                   std::vector<std::vector<uint8_t>>* sink) {
+  Rng rng(seed);
+  std::vector<uint64_t> rids;
+
+  auto drain = [&]() -> Status {
+    for (;;) {
+      std::vector<uint8_t> w = p.repl->PopOutbound();
+      if (w.empty()) return Status::OK();
+      if (sink != nullptr) sink->push_back(w);
+      if (r != nullptr) {
+        auto a = r->repl->ApplyFrame(w);
+        IPA_RETURN_NOT_OK(a.status());
+        if (a.value() != repl::ReplNode::Apply::kApplied) {
+          return Status::Corruption("live stream frame not applied");
+        }
+      }
+    }
+  };
+  uint64_t emitted_before_queue = 0;
+  auto note_lag = [&]() {
+    out->max_queue_frames =
+        std::max(out->max_queue_frames, p.repl->outbound_frames());
+    out->max_queue_bytes =
+        std::max(out->max_queue_bytes,
+                 p.repl->stats().bytes_emitted - emitted_before_queue);
+  };
+  auto after_drain = [&]() { emitted_before_queue = p.repl->stats().bytes_emitted; };
+
+  for (uint32_t base = 0; base < accounts; base += kLoadBatch) {
+    engine::TxnId txn = p.db->Begin();
+    for (uint32_t i = base; i < std::min(accounts, base + kLoadBatch); i++) {
+      std::vector<uint8_t> t = AccountTuple(i);
+      auto rid = p.db->Insert(txn, p.accounts_tbl, t);
+      IPA_RETURN_NOT_OK(rid.status());
+      rids.push_back(rid.value().Pack());
+      out->logical_bytes += kAccountBytes;
+    }
+    IPA_RETURN_NOT_OK(p.db->Commit(txn));
+    IPA_RETURN_NOT_OK(drain());
+    after_drain();
+  }
+
+  for (uint64_t t = 0; t < txns; t++) {
+    engine::TxnId txn = p.db->Begin();
+    Status s = Status::OK();
+    for (int u = 0; u < 3 && s.ok(); u++) {
+      uint64_t key = rids[rng.Uniform(rids.size())];
+      uint8_t patch[4];
+      for (uint8_t& b : patch) b = static_cast<uint8_t>(rng.Next());
+      s = p.db->Update(txn, engine::Rid::Unpack(key), kBalanceOffset, patch);
+    }
+    IPA_RETURN_NOT_OK(s);
+    std::vector<uint8_t> h(kHistoryBytes);
+    for (uint8_t& b : h) b = static_cast<uint8_t>(rng.Next());
+    auto rid = p.db->Insert(txn, p.history_tbl, h);
+    IPA_RETURN_NOT_OK(rid.status());
+    bool abort = rng.Chance(0.1);
+    if (abort) {
+      IPA_RETURN_NOT_OK(p.db->Abort(txn));
+    } else {
+      IPA_RETURN_NOT_OK(p.db->Commit(txn));
+      out->commits++;
+      out->logical_bytes += kHistoryBytes + 3 * 4;
+    }
+    note_lag();
+    if ((t + 1) % ship_every == 0) {
+      IPA_RETURN_NOT_OK(drain());
+      after_drain();
+    }
+    if ((t + 1) % kCheckpointEvery == 0) {
+      IPA_RETURN_NOT_OK(p.db->Checkpoint());
+    }
+  }
+  IPA_RETURN_NOT_OK(drain());
+  return Status::OK();
+}
+
+int Run(uint64_t txns, uint32_t accounts, uint64_t seed) {
+  double scale = workload::BenchScale();
+  txns = std::max<uint64_t>(
+      8, static_cast<uint64_t>(static_cast<double>(txns) * scale));
+
+  // -- Steady arm: per-commit shipping, live replica.
+  Node p, r;
+  WorkloadStats w;
+  Status s = p.Open(1, true);
+  if (s.ok()) s = r.Open(2, false);
+  if (s.ok()) s = RunWorkload(p, &r, 1, txns, accounts, seed, &w, nullptr);
+  if (s.ok()) {
+    repl::ReplNode::LogicalMap pm, rm;
+    s = p.repl->ScanLogical(&pm);
+    if (s.ok()) s = r.repl->ScanLogical(&rm);
+    if (s.ok() && pm != rm) s = Status::Corruption("steady arm diverged");
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_replication: steady: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+  const repl::ReplStats& ps = p.repl->stats();
+  const repl::ReplStats& rs = r.repl->stats();
+  uint64_t p_prog = p.ProgrammedBytes();
+  uint64_t r_prog = r.ProgrammedBytes();
+
+  TablePrinter steady({"arm", "commits", "frames", "wire B", "delta", "full",
+                       "foldback", "primary WA", "replica WA", "wire amp"});
+  auto wa = [&](uint64_t prog) {
+    return w.logical_bytes == 0 ? 0.0
+                                : static_cast<double>(prog) /
+                                      static_cast<double>(w.logical_bytes);
+  };
+  steady.AddRow({"steady", std::to_string(w.commits),
+                 std::to_string(ps.frames_emitted),
+                 std::to_string(ps.bytes_emitted),
+                 std::to_string(ps.delta_ops), std::to_string(ps.full_ops),
+                 std::to_string(ps.foldbacks), Fmt(wa(p_prog)),
+                 Fmt(wa(r_prog)),
+                 Fmt(w.logical_bytes == 0
+                         ? 0.0
+                         : static_cast<double>(ps.bytes_emitted) /
+                               static_cast<double>(w.logical_bytes))});
+  steady.Print();
+
+  metrics::Gauge("repl_bench.steady.commits").Set(static_cast<int64_t>(w.commits));
+  metrics::Gauge("repl_bench.steady.frames")
+      .Set(static_cast<int64_t>(ps.frames_emitted));
+  metrics::Gauge("repl_bench.steady.wire_bytes")
+      .Set(static_cast<int64_t>(ps.bytes_emitted));
+  metrics::Gauge("repl_bench.steady.delta_ops")
+      .Set(static_cast<int64_t>(ps.delta_ops));
+  metrics::Gauge("repl_bench.steady.full_ops")
+      .Set(static_cast<int64_t>(ps.full_ops));
+  metrics::Gauge("repl_bench.steady.foldbacks")
+      .Set(static_cast<int64_t>(ps.foldbacks));
+  metrics::Gauge("repl_bench.steady.frames_applied")
+      .Set(static_cast<int64_t>(rs.frames_applied));
+  metrics::Gauge("repl_bench.steady.logical_bytes")
+      .Set(static_cast<int64_t>(w.logical_bytes));
+  metrics::Gauge("repl_bench.steady.primary_prog_bytes")
+      .Set(static_cast<int64_t>(p_prog));
+  metrics::Gauge("repl_bench.steady.replica_prog_bytes")
+      .Set(static_cast<int64_t>(r_prog));
+
+  // -- Ship-lag arm: batch shipments, report the exposure window.
+  TablePrinter lag({"ship every", "max queue frames", "max queue bytes"});
+  for (uint64_t every : {1ull, 4ull, 16ull, 64ull}) {
+    Node bp, br;
+    WorkloadStats bw;
+    s = bp.Open(1, true);
+    if (s.ok()) s = br.Open(2, false);
+    if (s.ok()) s = RunWorkload(bp, &br, every, txns, accounts, seed, &bw,
+                                nullptr);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_replication: lag(%llu): %s\n",
+                   static_cast<unsigned long long>(every),
+                   s.ToString().c_str());
+      return 2;
+    }
+    lag.AddRow({std::to_string(every), std::to_string(bw.max_queue_frames),
+                std::to_string(bw.max_queue_bytes)});
+    std::string prefix = "repl_bench.lag." + std::to_string(every);
+    metrics::Gauge(prefix + ".max_queue_frames")
+        .Set(static_cast<int64_t>(bw.max_queue_frames));
+    metrics::Gauge(prefix + ".max_queue_bytes")
+        .Set(static_cast<int64_t>(bw.max_queue_bytes));
+  }
+  lag.Print();
+
+  // -- Catch-up arm: retained tail replay vs one snapshot ship.
+  Node cp;
+  std::vector<std::vector<uint8_t>> tail;
+  WorkloadStats cw;
+  s = cp.Open(1, true);
+  if (s.ok()) s = RunWorkload(cp, nullptr, 1, txns, accounts, seed, &cw, &tail);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_replication: catchup primary: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+  uint64_t tail_bytes = 0;
+  for (const auto& f : tail) tail_bytes += f.size();
+
+  Node tr;  // tail-replay replica
+  s = tr.Open(2, false);
+  SimTime tail_us = 0;
+  if (s.ok()) {
+    SimTime start = tr.dev.clock().Now();
+    for (const auto& f : tail) {
+      auto a = tr.repl->ApplyFrame(f);
+      if (!a.ok()) {
+        s = a.status();
+        break;
+      }
+      if (a.value() != repl::ReplNode::Apply::kApplied) {
+        s = Status::Corruption("tail frame not applied");
+        break;
+      }
+    }
+    tail_us = tr.dev.clock().Now() - start;
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_replication: tail replay: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+
+  Node sr;  // snapshot replica
+  s = sr.Open(3, false);
+  SimTime snap_us = 0;
+  uint64_t snap_frames = 0, snap_bytes = 0;
+  if (s.ok()) {
+    auto snap = cp.repl->BuildSnapshot();
+    if (!snap.ok()) {
+      s = snap.status();
+    } else {
+      snap_frames = snap.value().size();
+      for (const auto& f : snap.value()) snap_bytes += f.size();
+      SimTime start = sr.dev.clock().Now();
+      s = sr.repl->ApplySnapshot(snap.value());
+      snap_us = sr.dev.clock().Now() - start;
+    }
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_replication: snapshot: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+
+  // Both catch-up paths must land on the same logical content.
+  {
+    repl::ReplNode::LogicalMap a, b, c;
+    s = cp.repl->ScanLogical(&a);
+    if (s.ok()) s = tr.repl->ScanLogical(&b);
+    if (s.ok()) s = sr.repl->ScanLogical(&c);
+    if (s.ok() && (a != b || a != c)) {
+      s = Status::Corruption("catch-up paths diverged");
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_replication: catchup verify: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  TablePrinter cu({"catch-up path", "frames", "wire B", "apply sim-us"});
+  cu.AddRow({"tail replay", std::to_string(tail.size()),
+             std::to_string(tail_bytes), std::to_string(tail_us)});
+  cu.AddRow({"snapshot", std::to_string(snap_frames),
+             std::to_string(snap_bytes), std::to_string(snap_us)});
+  cu.Print();
+
+  metrics::Gauge("repl_bench.catchup.tail_frames")
+      .Set(static_cast<int64_t>(tail.size()));
+  metrics::Gauge("repl_bench.catchup.tail_bytes")
+      .Set(static_cast<int64_t>(tail_bytes));
+  metrics::Gauge("repl_bench.catchup.tail_sim_us")
+      .Set(static_cast<int64_t>(tail_us));
+  metrics::Gauge("repl_bench.catchup.snap_frames")
+      .Set(static_cast<int64_t>(snap_frames));
+  metrics::Gauge("repl_bench.catchup.snap_bytes")
+      .Set(static_cast<int64_t>(snap_bytes));
+  metrics::Gauge("repl_bench.catchup.snap_sim_us")
+      .Set(static_cast<int64_t>(snap_us));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipa::bench
+
+namespace {
+
+uint64_t ArgU64(int argc, char** argv, const char* flag, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ipa::metrics::InitFromArgs(argc, argv);
+  ipa::bench::WarnIfDebugBuild();
+  uint64_t txns = ArgU64(argc, argv, "--txns", 120);
+  uint32_t accounts =
+      static_cast<uint32_t>(ArgU64(argc, argv, "--accounts", 64));
+  uint64_t seed = ArgU64(argc, argv, "--seed", 42);
+  return ipa::bench::Run(txns, accounts, seed);
+}

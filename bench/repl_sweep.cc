@@ -1,0 +1,500 @@
+#include "bench/repl_sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "bench/parallel_runner.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "flash/timing.h"
+#include "repl/node.h"
+#include "workload/testbed.h"
+
+namespace ipa::bench {
+
+namespace {
+
+// Same TPC-B-style shape as bench/crash_sweep.cc: fixed-size account tuples
+// taking 4-byte balance patches (delta-record shipments), append-only
+// history tuples (full-image shipments), ~10% aborts (abort-mark frames).
+constexpr uint32_t kAccountBytes = 100;
+constexpr uint32_t kBalanceOffset = 12;
+constexpr uint32_t kHistoryBytes = 20;
+constexpr uint32_t kLoadBatch = 8;
+constexpr uint64_t kCheckpointEvery = 16;
+
+/// Committed primary content: rid.Pack() -> tuple bytes.
+using Reference = std::map<uint64_t, std::vector<uint8_t>>;
+
+/// What a replay injects. Exactly one of the two drills is active.
+struct Drill {
+  bool ship = false;      ///< true: shipment drill at `at`; false: replica cut.
+  uint64_t at = 0;        ///< Shipment ordinal, or replica mutating-op index.
+  uint64_t torn_seed = 0; ///< Shapes the torn prefix length (ship drills).
+  bool armed = true;      ///< false for the trace run (no injection at all).
+};
+
+/// One node: private simulated flash + NoFtl + engine + ReplNode.
+struct Node {
+  flash::FlashArray dev;
+  ftl::NoFtl noftl;
+  ftl::FtlBackend* backend = nullptr;
+  std::unique_ptr<engine::Database> db;
+  ftl::RegionId region = 0;
+  engine::TablespaceId ts = 0;
+  engine::TableId accounts_tbl = 0;
+  engine::TableId history_tbl = 0;
+  std::unique_ptr<repl::ReplNode> repl;  // after db: hooks detach first
+
+  static flash::Geometry Geo() {
+    flash::Geometry g;
+    g.channels = 2;
+    g.chips_per_channel = 2;
+    g.blocks_per_chip = 48;
+    g.pages_per_block = 16;
+    g.page_size = 2048;
+    return g;
+  }
+
+  Node() : dev(Geo(), flash::SlcTiming()), noftl(&dev) {}
+
+  Status Open(repl::WriterId writer, bool writable) {
+    engine::EngineConfig ec;
+    ec.page_size = Geo().page_size;
+    ec.buffer_pages = 12;
+    ec.log_capacity_bytes = 1 << 20;
+    ec.log_reclaim_threshold = 0.375;
+
+    storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+    ftl::RegionConfig rc;
+    rc.name = "replsweep";
+    rc.logical_pages = 256;
+    rc.ipa_mode = ftl::IpaMode::kSlc;
+    rc.delta_area_offset = Geo().page_size - scheme.AreaBytes();
+    rc.manage_ecc = true;
+    auto r = noftl.CreateRegion(rc);
+    IPA_RETURN_NOT_OK(r.status());
+    region = r.value();
+    backend = noftl.region_device(region);
+    db = std::make_unique<engine::Database>(&noftl, ec);
+    auto t = db->CreateTablespace("replsweep", region, scheme);
+    IPA_RETURN_NOT_OK(t.status());
+    ts = t.value();
+    auto a = db->CreateTable("account", ts);
+    IPA_RETURN_NOT_OK(a.status());
+    accounts_tbl = a.value();
+    auto h = db->CreateTable("history", ts);
+    IPA_RETURN_NOT_OK(h.status());
+    history_tbl = h.value();
+    auto n = repl::ReplNode::Attach(
+        db.get(), ts, {accounts_tbl, history_tbl},
+        repl::ReplConfig{.writer = writer, .writable = writable});
+    IPA_RETURN_NOT_OK(n.status());
+    repl = std::move(n).value();
+    return Status::OK();
+  }
+};
+
+/// The replicated pair plus the "network": shipping state shared between the
+/// workload loop and the drill machinery.
+struct Pair {
+  Node primary;
+  Node replica;
+  uint64_t shipments = 0;       ///< Next shipment ordinal.
+  uint64_t frames_accepted = 0; ///< Frames the replica took (incl. dups).
+  bool ship_fired = false;      ///< The shipment drill engaged.
+  bool replica_cut_fired = false;
+  bool need_catchup = false;    ///< Primary crashed; in-flight frames lost.
+
+  Status Open() {
+    IPA_RETURN_NOT_OK(primary.Open(1, /*writable=*/true));
+    return replica.Open(2, /*writable=*/false);
+  }
+};
+
+std::vector<uint8_t> AccountTuple(uint32_t id) {
+  std::vector<uint8_t> t(kAccountBytes);
+  for (uint32_t j = 0; j < kAccountBytes; j++) {
+    t[j] = static_cast<uint8_t>(id * 7u + j * 13u + 1u);
+  }
+  return t;
+}
+
+/// Replica crash protocol: power-cycle, engine recovery, then rebuild the
+/// replication state from the durable meta/map tables. Disarms the policy so
+/// the sweep's single cut cannot re-fire during the remainder of the replay.
+Status RecoverReplica(Pair& pr) {
+  pr.replica_cut_fired = true;
+  pr.replica.db->SimulateCrash();
+  pr.replica.dev.PowerCycle();
+  pr.replica.dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+  IPA_RETURN_NOT_OK(pr.replica.db->RecoverAfterPowerLoss());
+  return pr.replica.repl->RecoverReplState();
+}
+
+/// Snapshot catch-up: ship the primary's full state. The replica may lose
+/// power mid-snapshot (the armed cut can land inside the big apply
+/// transaction) — recover and re-apply; the whole stream is one transaction,
+/// so the retry starts from nothing.
+Status RunCatchup(Pair& pr) {
+  auto snap = pr.primary.repl->BuildSnapshot();
+  IPA_RETURN_NOT_OK(snap.status());
+  for (int attempt = 0; attempt < 4; attempt++) {
+    Status s = pr.replica.repl->ApplySnapshot(snap.value());
+    if (s.IsUnavailable() && !pr.replica.dev.powered_on()) {
+      IPA_RETURN_NOT_OK(RecoverReplica(pr));
+      continue;
+    }
+    if (s.IsOutOfSpace()) {
+      IPA_RETURN_NOT_OK(pr.replica.db->Checkpoint());
+      continue;
+    }
+    IPA_RETURN_NOT_OK(s);
+    pr.need_catchup = false;
+    return Status::OK();
+  }
+  return Status::Internal("snapshot catch-up did not settle");
+}
+
+/// Deliver one frame, running the drill when its ordinal comes up.
+///
+/// Shipment drill: the frame first arrives torn (any proper prefix must be
+/// rejected with zero state change), then the PRIMARY loses power at the
+/// boundary — this frame and everything still queued is lost in flight; the
+/// primary recovers and the replica heals later via snapshot catch-up.
+///
+/// Replica cut: the armed power loss fires inside ApplyFrame's transaction;
+/// the engine reports Unavailable, recovery rolls the half-applied frame
+/// back, and re-delivering the SAME frame must succeed (idempotence).
+Status ShipFrame(Pair& pr, const std::vector<uint8_t>& wire,
+                 const Drill& drill) {
+  uint64_t ordinal = pr.shipments++;
+  if (drill.armed && drill.ship && !pr.ship_fired && ordinal == drill.at) {
+    pr.ship_fired = true;
+    Rng rng(drill.torn_seed);
+    size_t len = 1 + rng.Next() % (wire.size() - 1);
+    auto torn = pr.replica.repl->ApplyFrame(std::span(wire.data(), len));
+    IPA_RETURN_NOT_OK(torn.status());
+    if (torn.value() != repl::ReplNode::Apply::kRejectedTorn) {
+      return Status::Corruption("torn shipment was not rejected");
+    }
+    pr.primary.db->SimulateCrash();
+    pr.primary.dev.PowerCycle();
+    IPA_RETURN_NOT_OK(pr.primary.db->RecoverAfterPowerLoss());
+    IPA_RETURN_NOT_OK(pr.primary.repl->RecoverReplState());
+    pr.need_catchup = true;
+    return Status::OK();  // outbound was cleared; the drain loop ends
+  }
+  for (int attempt = 0; attempt < 6; attempt++) {
+    auto r = pr.replica.repl->ApplyFrame(wire);
+    if (!r.ok()) {
+      if (r.status().IsUnavailable() && !pr.replica.dev.powered_on()) {
+        IPA_RETURN_NOT_OK(RecoverReplica(pr));
+        continue;
+      }
+      if (r.status().IsOutOfSpace()) {
+        IPA_RETURN_NOT_OK(pr.replica.db->Checkpoint());
+        continue;
+      }
+      return r.status();
+    }
+    switch (r.value()) {
+      case repl::ReplNode::Apply::kApplied:
+      case repl::ReplNode::Apply::kDuplicate:
+        pr.frames_accepted++;
+        return Status::OK();
+      case repl::ReplNode::Apply::kEcho:
+        return Status::Corruption("replica saw its own frame echoed");
+      case repl::ReplNode::Apply::kNeedCatchup:
+        IPA_RETURN_NOT_OK(RunCatchup(pr));
+        continue;  // retry: the snapshot covers it, expect kDuplicate
+      case repl::ReplNode::Apply::kRejectedTorn:
+        return Status::Corruption("intact frame rejected as torn");
+    }
+  }
+  return Status::Internal("frame delivery did not settle");
+}
+
+/// Drain the primary's outbound queue through ShipFrame.
+Status ShipAll(Pair& pr, const Drill& drill) {
+  for (;;) {
+    std::vector<uint8_t> w = pr.primary.repl->PopOutbound();
+    if (w.empty()) return Status::OK();
+    IPA_RETURN_NOT_OK(ShipFrame(pr, w, drill));
+  }
+}
+
+struct WorkloadOutcome {
+  Reference committed;
+  uint64_t commits = 0;
+};
+
+/// The replicated TPC-B workload: every commit/abort boundary immediately
+/// ships the queued frames. The primary only loses power when the shipment
+/// drill says so (handled inside ShipFrame, between transactions), so the
+/// reference is exact: every commit that returned OK (or Unavailable — the
+/// commit record is forced before maintenance I/O) is in it.
+Result<WorkloadOutcome> RunReplTpcb(Pair& pr, uint32_t accounts,
+                                    uint64_t txns, uint64_t seed,
+                                    const Drill& drill) {
+  WorkloadOutcome w;
+  Rng rng(seed);
+  std::vector<uint64_t> rids;
+
+  engine::Database& db = *pr.primary.db;
+
+  // -- Load phase.
+  for (uint32_t base = 0; base < accounts; base += kLoadBatch) {
+    engine::TxnId txn = db.Begin();
+    Reference local = w.committed;
+    std::vector<uint64_t> batch;
+    Status s = Status::OK();
+    for (uint32_t i = base; i < std::min(accounts, base + kLoadBatch); i++) {
+      std::vector<uint8_t> t = AccountTuple(i);
+      auto rid = db.Insert(txn, pr.primary.accounts_tbl, t);
+      if (!rid.ok()) {
+        s = rid.status();
+        break;
+      }
+      local[rid.value().Pack()] = std::move(t);
+      batch.push_back(rid.value().Pack());
+    }
+    if (s.ok()) {
+      s = db.Commit(txn);
+      if (s.ok() || s.IsUnavailable()) {
+        w.committed = std::move(local);
+        w.commits++;
+        rids.insert(rids.end(), batch.begin(), batch.end());
+        s = Status::OK();
+      }
+    }
+    IPA_RETURN_NOT_OK(s);
+    IPA_RETURN_NOT_OK(ShipAll(pr, drill));
+  }
+
+  // -- Transaction phase.
+  for (uint64_t t = 0; t < txns; t++) {
+    engine::TxnId txn = db.Begin();
+    Reference local = w.committed;
+    Status s = Status::OK();
+    for (int u = 0; u < 3 && s.ok(); u++) {
+      uint64_t key = rids[rng.Uniform(rids.size())];
+      uint8_t patch[4];
+      for (uint8_t& b : patch) b = static_cast<uint8_t>(rng.Next());
+      s = db.Update(txn, engine::Rid::Unpack(key), kBalanceOffset, patch);
+      if (s.ok()) {
+        std::copy(patch, patch + sizeof(patch),
+                  local[key].begin() + kBalanceOffset);
+      }
+    }
+    if (s.ok()) {
+      std::vector<uint8_t> h(kHistoryBytes);
+      for (uint8_t& b : h) b = static_cast<uint8_t>(rng.Next());
+      auto rid = db.Insert(txn, pr.primary.history_tbl, h);
+      if (rid.ok()) {
+        local[rid.value().Pack()] = std::move(h);
+      } else {
+        s = rid.status();
+      }
+    }
+    bool abort = rng.Chance(0.1);  // drawn even on failure: keeps rng aligned
+    if (s.ok()) {
+      if (abort) {
+        s = db.Abort(txn);  // ships an abort-mark frame
+      } else {
+        s = db.Commit(txn);
+        if (s.ok() || s.IsUnavailable()) {
+          w.committed = std::move(local);
+          w.commits++;
+          s = Status::OK();
+        }
+      }
+    }
+    IPA_RETURN_NOT_OK(s);
+    IPA_RETURN_NOT_OK(ShipAll(pr, drill));
+    if ((t + 1) % kCheckpointEvery == 0) {
+      IPA_RETURN_NOT_OK(db.Checkpoint());
+    }
+  }
+  return w;
+}
+
+/// Primary scan must equal the reference byte-for-byte.
+Status VerifyPrimary(Pair& pr, const Reference& ref) {
+  Reference found;
+  for (engine::TableId tbl :
+       {pr.primary.accounts_tbl, pr.primary.history_tbl}) {
+    IPA_RETURN_NOT_OK(pr.primary.db->Scan(
+        tbl, [&](engine::Rid rid, std::span<const uint8_t> t) {
+          found[rid.Pack()] = {t.begin(), t.end()};
+          return true;
+        }));
+  }
+  if (found != ref) {
+    return Status::Corruption("primary diverged from reference: scanned " +
+                              std::to_string(found.size()) + " tuples vs " +
+                              std::to_string(ref.size()) + " committed");
+  }
+  return Status::OK();
+}
+
+/// Replica convergence oracle: logical content (origin identity -> bytes)
+/// must be byte-identical on both nodes, and the replica's view re-keyed by
+/// origin rid must equal the reference.
+Status VerifyConverged(Pair& pr, const Reference& ref) {
+  repl::ReplNode::LogicalMap pm, rm;
+  IPA_RETURN_NOT_OK(pr.primary.repl->ScanLogical(&pm));
+  IPA_RETURN_NOT_OK(pr.replica.repl->ScanLogical(&rm));
+  if (pm != rm) {
+    return Status::Corruption(
+        "replica diverged: primary has " + std::to_string(pm.size()) +
+        " logical tuples, replica has " + std::to_string(rm.size()));
+  }
+  Reference rebuilt;
+  for (const auto& [key, bytes] : rm) {
+    if (key.first != 1) {
+      return Status::Corruption("replica holds tuple from unknown writer " +
+                                std::to_string(key.first));
+    }
+    rebuilt[key.second] = bytes;
+  }
+  if (rebuilt != ref) {
+    return Status::Corruption("replica logical content != reference (" +
+                              std::to_string(rebuilt.size()) + " vs " +
+                              std::to_string(ref.size()) + " tuples)");
+  }
+  return Status::OK();
+}
+
+/// One end-to-end pass: open the pair, optionally arm the drill, run the
+/// workload, final-sync, verify both nodes.
+Status RunPass(const ReplSweepConfig& cfg, const Drill& drill, Pair& pr,
+               WorkloadOutcome* out) {
+  IPA_RETURN_NOT_OK(pr.Open());
+  flash::PowerLossPolicy policy;  // default: disarmed, but resets op counter
+  if (drill.armed && !drill.ship) {
+    policy.inject_at_op = drill.at;
+    // Distinct torn-state shapes per point, reproducible from the seed.
+    policy.seed = cfg.seed ^ (0x9E3779B97F4A7C15ull * (drill.at + 1));
+  }
+  pr.replica.dev.SetPowerLossPolicy(policy);
+
+  auto wr = RunReplTpcb(pr, cfg.accounts, cfg.txns, cfg.seed, drill);
+  IPA_RETURN_NOT_OK(wr.status());
+  *out = std::move(wr).value();
+
+  // Final sync: drain stragglers; if the primary crashed at the drill
+  // boundary the lost tail heals through one snapshot catch-up.
+  IPA_RETURN_NOT_OK(ShipAll(pr, drill));
+  if (pr.need_catchup) IPA_RETURN_NOT_OK(RunCatchup(pr));
+
+  IPA_RETURN_NOT_OK(VerifyPrimary(pr, out->committed));
+  return VerifyConverged(pr, out->committed);
+}
+
+ReplSweepPoint RunPoint(const ReplSweepConfig& cfg, const Drill& drill) {
+  ReplSweepPoint p;
+  p.shipment = drill.ship;
+  p.index = drill.at;
+  Pair pr;
+  WorkloadOutcome w;
+  Status s = RunPass(cfg, drill, pr, &w);
+  p.fired = drill.ship ? pr.ship_fired : pr.replica_cut_fired;
+  p.commits = w.commits;
+  p.frames = pr.frames_accepted;
+  if (!s.ok()) {
+    p.error = s.ToString();
+    return p;
+  }
+  p.ok = true;
+  return p;
+}
+
+void Append64(std::vector<uint8_t>& buf, uint64_t v) {
+  for (int i = 0; i < 8; i++) buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+uint32_t ReplSweepReport::Fingerprint() const {
+  std::vector<uint8_t> buf;
+  buf.reserve(points.size() * 26 + 16);
+  Append64(buf, apply_ops);
+  Append64(buf, shipments);
+  for (const ReplSweepPoint& p : points) {
+    buf.push_back(p.shipment ? 1 : 0);
+    Append64(buf, p.index);
+    buf.push_back(p.fired ? 1 : 0);
+    buf.push_back(p.ok ? 1 : 0);
+    Append64(buf, p.commits);
+    Append64(buf, p.frames);
+  }
+  return Crc32c(buf.data(), buf.size());
+}
+
+Result<ReplSweepReport> RunReplCrashSweep(const ReplSweepConfig& config) {
+  ReplSweepConfig cfg = config;
+  if (cfg.scale_with_env) {
+    double scale = workload::BenchScale();
+    cfg.txns = std::max<uint64_t>(
+        8, static_cast<uint64_t>(static_cast<double>(cfg.txns) * scale));
+  }
+
+  // -- Trace run: count the replica's mutating flash ops and the shipments.
+  ReplSweepReport report;
+  {
+    Pair pr;
+    WorkloadOutcome w;
+    Drill none;
+    none.armed = false;
+    Status s = RunPass(cfg, none, pr, &w);
+    if (!s.ok()) {
+      return Status::Internal("trace run failed: " + s.ToString());
+    }
+    report.apply_ops = pr.replica.dev.mutation_ops();
+    report.shipments = pr.shipments;
+  }
+  if (report.apply_ops == 0 || report.shipments == 0) {
+    return Status::Internal("trace run shipped nothing");
+  }
+
+  // -- Point list: every replica apply op, then every shipment boundary;
+  // evenly subsampled (preserving the mix) when capped.
+  std::vector<Drill> drills;
+  uint64_t total = report.apply_ops + report.shipments;
+  uint64_t want = (cfg.max_points == 0 || cfg.max_points >= total)
+                      ? total
+                      : cfg.max_points;
+  drills.reserve(want);
+  for (uint64_t i = 0; i < want; i++) {
+    uint64_t pick = i * total / want;
+    Drill d;
+    if (pick < report.apply_ops) {
+      d.ship = false;
+      d.at = pick;
+    } else {
+      d.ship = true;
+      d.at = pick - report.apply_ops;
+      d.torn_seed = cfg.seed ^ (0xC2B2AE3D27D4EB4Full * (d.at + 1));
+    }
+    drills.push_back(d);
+  }
+
+  // -- Replay: each point is a fully private pair; order-independent.
+  report.points.resize(drills.size());
+  ParallelFor(
+      drills.size(),
+      [&](size_t i) { report.points[i] = RunPoint(cfg, drills[i]); },
+      cfg.jobs);
+
+  for (const ReplSweepPoint& p : report.points) {
+    if (p.fired) report.fired++;
+    if (!p.ok) report.failures++;
+  }
+  return report;
+}
+
+}  // namespace ipa::bench

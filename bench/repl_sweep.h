@@ -1,0 +1,71 @@
+// Deterministic crash sweep over the replication stream (docs/REPLICATION.md).
+//
+// Same record-and-replay idea as bench/crash_sweep.h, extended to the
+// primary→replica pair: one crash-free trace run of a replicated TPC-B-style
+// workload records (a) how many mutating flash operations the REPLICA issues
+// while applying the stream and (b) how many shipments the primary emits.
+// Then one replay per point:
+//
+//   - Replica points: a power loss armed at exactly that apply-side flash
+//     operation. The half-applied frame must roll back at recovery
+//     (RecoverAfterPowerLoss + RecoverReplState) and re-applying the same
+//     frame must succeed (kApplied or kDuplicate — idempotence).
+//   - Shipment points: at that shipment boundary the frame is first
+//     delivered torn (must be rejected with no state change), then the
+//     PRIMARY loses power at the boundary — in-flight frames are lost, the
+//     primary recovers, and the replica heals through snapshot catch-up.
+//
+// Every point ends with full convergence verification: the primary's scan
+// must equal the reference committed state byte-for-byte, and the replica's
+// logical content (origin identity → bytes) must equal it too.
+//
+// Every point builds its own fully private pair of stacks, so points execute
+// concurrently (ParallelFor) with bit-identical results at any IPA_JOBS.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipa::bench {
+
+struct ReplSweepConfig {
+  uint64_t txns = 120;       ///< TPC-B transactions after the load phase.
+  uint32_t accounts = 64;    ///< Account tuples loaded up front.
+  uint64_t seed = 42;        ///< Workload RNG + torn-state shape seed.
+  uint64_t max_points = 0;   ///< Cap on sweep points (0 = every point).
+  unsigned jobs = 0;         ///< Worker threads (0 = Jobs()).
+  bool scale_with_env = true;  ///< Apply IPA_SCALE to `txns`.
+};
+
+/// Outcome of one sweep point.
+struct ReplSweepPoint {
+  bool shipment = false;   ///< false: replica power cut; true: shipment drill.
+  uint64_t index = 0;      ///< Replica flash-op index, or shipment ordinal.
+  bool fired = false;      ///< The cut fired / the drill boundary was reached.
+  bool ok = false;         ///< Both nodes verified byte-exact at the end.
+  uint64_t commits = 0;    ///< Transactions the primary committed.
+  uint64_t frames = 0;     ///< Frames the replica accepted.
+  std::string error;       ///< First failure (empty when ok).
+};
+
+struct ReplSweepReport {
+  uint64_t apply_ops = 0;  ///< Replica mutating flash ops in the trace run.
+  uint64_t shipments = 0;  ///< Frames shipped in the trace run.
+  uint64_t fired = 0;      ///< Points whose cut/drill actually engaged.
+  uint64_t failures = 0;   ///< Points failing verification.
+  std::vector<ReplSweepPoint> points;  ///< In point order.
+
+  /// CRC32C over every point's outcome fields in order — identical across
+  /// worker counts iff the sweep is deterministic.
+  uint32_t Fingerprint() const;
+};
+
+/// Run the sweep: one crash-free trace run, then one replay per point.
+/// Non-OK only for harness-level errors; per-point failures are in `points`.
+Result<ReplSweepReport> RunReplCrashSweep(const ReplSweepConfig& config);
+
+}  // namespace ipa::bench

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 for bin in bench/bench_table02_ipl_vs_ipa bench/bench_table07_tpcb_emulator \
            bench/bench_table12_backend_compare bench/bench_scaleup \
-           bench/bench_serve tools/crash_sweep; do
+           bench/bench_serve bench/bench_replication tools/crash_sweep; do
   if [ ! -x "$BUILD/$bin" ]; then
     echo "update_baselines: missing $BUILD/$bin (build it first)" >&2
     exit 2
@@ -38,6 +38,9 @@ echo "== bench_scaleup"
 echo "== bench_serve"
 "$BUILD/bench/bench_serve" --seed 7 \
   --metrics-json bench/baselines/bench_serve.json > /dev/null
+echo "== bench_replication"
+"$BUILD/bench/bench_replication" \
+  --metrics-json bench/baselines/bench_replication.json > /dev/null
 echo "== crash_sweep"
 "$BUILD/tools/crash_sweep" --points 300 \
   --metrics-json bench/baselines/crash_sweep.json > /dev/null

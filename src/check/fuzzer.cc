@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -18,6 +19,7 @@
 #include "ftl/noftl.h"
 #include "ftl/page_ftl.h"
 #include "ftl/stream_ftl.h"
+#include "repl/node.h"
 #include "storage/page_format.h"
 
 namespace ipa::check {
@@ -26,11 +28,13 @@ namespace {
 
 constexpr const char* kScheduleNames[kNumSchedules] = {
     "slc",       "slc-noneager", "pslc",    "oddmlc",
-    "slc-noecc", "pageftl",      "sharded", "streamftl"};
+    "slc-noecc", "pageftl",      "sharded", "streamftl",
+    "replication"};
 
 constexpr const char* kKindNames[] = {
     "insert", "update",     "resize",     "delete", "read",      "commit",
-    "abort",  "scancheck",  "checkpoint", "scrub",  "wearlevel", "powercut"};
+    "abort",  "scancheck",  "checkpoint", "scrub",  "wearlevel", "powercut",
+    "ship",   "replsync"};
 
 /// Deterministic payload bytes for one op.
 std::vector<uint8_t> Payload(uint64_t seed, size_t n) {
@@ -62,6 +66,13 @@ struct Testbed {
   };
   std::vector<ShardPart> parts;
   std::unique_ptr<engine::ShardedDatabase> sharded;
+
+  /// kRepl only: a second fully private stack (the replica) plus the two
+  /// replication endpoints. Declared after the engines they attach to, so
+  /// the nodes detach their hooks before the Databases die.
+  std::unique_ptr<Testbed> replica;
+  std::unique_ptr<repl::ReplNode> repl_primary;
+  std::unique_ptr<repl::ReplNode> repl_replica;
 
   Testbed(const flash::Geometry& g, const flash::TimingModel& t)
       : dev(g, t), noftl(&dev) {}
@@ -180,6 +191,24 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   tb->backend = tb->noftl.region_device(tb->region);
   IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
   IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
+
+  if (s == Schedule::kRepl) {
+    // Replica: a second private stack of the same shape (its own device, its
+    // own WAL), bridged only by the changeset stream the runner ships.
+    auto rep = MakeTestbed(Schedule::kSlc);
+    if (!rep.ok()) return rep.status();
+    tb->replica = std::move(rep.value());
+    IPA_ASSIGN_OR_RETURN(
+        tb->repl_primary,
+        repl::ReplNode::Attach(tb->db.get(), tb->ts,
+                               {tb->tables[0], tb->tables[1]},
+                               repl::ReplConfig{.writer = 1, .writable = true}));
+    IPA_ASSIGN_OR_RETURN(
+        tb->repl_replica,
+        repl::ReplNode::Attach(tb->replica->db.get(), tb->replica->ts,
+                               {tb->replica->tables[0], tb->replica->tables[1]},
+                               repl::ReplConfig{.writer = 2}));
+  }
   return tb;
 }
 
@@ -224,11 +253,23 @@ class Runner {
       CrashEngine();
       tb_->dev.PowerCycle();
       Status s = RecoverLoop();
+      if (s.ok() && Repl()) s = RecoverPrimaryRepl();
       if (s.ok()) s = DeepCheck(model_.committed());
       if (!s.ok()) return Fail(end, s);
     }
     Status s = DeepCheck(model_.view());
     if (!s.ok()) return Fail(end, s);
+
+    if (Repl()) {
+      // The headline oracle: after the final crash + recovery + catch-up the
+      // replica must converge to the model's committed view, byte for byte.
+      Status c = ReplSync();
+      if (c.IsUnavailable()) {
+        c = HandleCrash();
+        if (c.ok()) c = ReplSync();
+      }
+      if (!c.ok()) return Fail(end, c);
+    }
 
     const ftl::RegionStats rs = BackendStats();
     res_.torn_bytes = rs.torn_delta_bytes_dropped;
@@ -310,6 +351,7 @@ class Runner {
   }
 
   bool Sharded() const { return cfg_.schedule == Schedule::kSharded; }
+  bool Repl() const { return cfg_.schedule == Schedule::kRepl; }
 
   /// kSharded: one device serves both partitions' regions, so the
   /// conservation oracle compares device counters against the per-layer sums.
@@ -378,6 +420,23 @@ class Runner {
       return CheckCounterConservation(tb_->dev.stats(), SumRegionStats(),
                                       SumBufferStats());
     }
+    if (Repl()) {
+      if (!tb_->replica->dev.powered_on()) {
+        return Status::Internal("replica left powered off after op handling");
+      }
+      IPA_RETURN_NOT_OK(CheckCounterConservation(
+          tb_->replica->dev.stats(),
+          tb_->replica->noftl.region_stats(tb_->replica->region),
+          tb_->replica->db->buffer_pool().stats()));
+      // Stream conservation: the replica never applies frames the primary
+      // did not emit (counters are monotone across both nodes' crashes).
+      const repl::ReplStats& ps = tb_->repl_primary->stats();
+      const repl::ReplStats& as = tb_->repl_replica->stats();
+      if (as.frames_applied > ps.frames_emitted) {
+        return Status::Corruption(
+            "replication conservation: more frames applied than emitted");
+      }
+    }
     return CheckCounterConservation(tb_->dev.stats(),
                                     tb_->noftl.region_stats(tb_->region),
                                     tb_->db->buffer_pool().stats());
@@ -402,7 +461,9 @@ class Runner {
       // every page body is an opaque host image.
       IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
     }
-    return shadow_.ObserveAndCheck(tb_->dev);
+    IPA_RETURN_NOT_OK(shadow_.ObserveAndCheck(tb_->dev));
+    if (Repl()) return ReplicaDeepCheck();
+    return Status::OK();
   }
 
   /// An op returned OutOfSpace after possibly mutating state (log reclaim
@@ -448,7 +509,19 @@ class Runner {
     CrashEngine();
     tb_->dev.PowerCycle();
     IPA_RETURN_NOT_OK(RecoverLoop());
+    if (Repl()) IPA_RETURN_NOT_OK(RecoverPrimaryRepl());
     return DeepCheck(model_.committed());
+  }
+
+  /// kRepl, after the primary recovered: rebuild its shipping state. The
+  /// wire died with it — frames still in flight are dropped, and the next
+  /// emitted frame (prev_lsn = kUnknownLsn) pushes the replica into
+  /// catch-up, so force the snapshot path eagerly.
+  Status RecoverPrimaryRepl() {
+    IPA_RETURN_NOT_OK(tb_->repl_primary->RecoverReplState());
+    net_.clear();
+    force_catchup_ = true;
+    return Status::OK();
   }
 
   Status RecoverLoop() {
@@ -475,6 +548,188 @@ class Runner {
       tb_->dev.PowerCycle();
     }
     return Status::Internal("recovery did not converge after 8 power cycles");
+  }
+
+  // -- kRepl shipping ---------------------------------------------------------
+  //
+  // The runner plays the network: PumpOutbound moves emitted frames onto the
+  // in-flight queue, kShip delivers the oldest one, kReplSync drains the
+  // stream (snapshot catch-up included) and runs the convergence oracle.
+  // Either node can lose power mid-stream; the primary's crash protocol is
+  // the usual HandleCrash (plus RecoverPrimaryRepl), the replica's is
+  // HandleReplicaCrash — the model is NOT crashed for a replica-only cut.
+
+  void PumpOutbound() {
+    while (tb_->repl_primary->outbound_frames() > 0) {
+      net_.push_back(tb_->repl_primary->PopOutbound());
+    }
+  }
+
+  /// Deliver the oldest in-flight frame. Frames stay queued across replica
+  /// crashes and transient OutOfSpace rollbacks (re-apply is idempotent); a
+  /// chain gap switches to snapshot catch-up.
+  Status ShipOne() {
+    if (force_catchup_) return RunCatchup();
+    if (net_.empty()) return Status::OK();
+    auto r = tb_->repl_replica->ApplyFrame(net_.front());
+    if (!r.ok()) {
+      if (r.status().IsUnavailable()) return HandleReplicaCrash();
+      if (r.status().IsOutOfSpace()) {
+        // The apply rolled back whole; free replica log space, retry later.
+        Status cs = tb_->replica->db->Checkpoint();
+        if (cs.IsUnavailable()) return HandleReplicaCrash();
+        return Status::OK();
+      }
+      return r.status();
+    }
+    switch (r.value()) {
+      case repl::ReplNode::Apply::kApplied:
+      case repl::ReplNode::Apply::kDuplicate:
+      case repl::ReplNode::Apply::kEcho:
+        net_.pop_front();
+        return Status::OK();
+      case repl::ReplNode::Apply::kNeedCatchup:
+        return RunCatchup();
+      case repl::ReplNode::Apply::kRejectedTorn:
+        return Status::Corruption("replica rejected an untorn frame as torn");
+    }
+    return Status::Internal("unknown apply outcome");
+  }
+
+  /// Snapshot-ship catch-up: quiesce the primary (commit the open txn),
+  /// build a full-state snapshot, apply it on the replica. Pre-snapshot
+  /// frames still in flight drain as duplicates afterwards.
+  Status RunCatchup() {
+    if (txn_ != engine::kInvalidTxn) {
+      Op commit;
+      commit.kind = Op::Kind::kCommit;
+      IPA_RETURN_NOT_OK(Execute(commit));  // Unavailable: primary crash path
+      PumpOutbound();
+    }
+    auto snap = tb_->repl_primary->BuildSnapshot();
+    if (!snap.ok()) return snap.status();
+    Status s = tb_->repl_replica->ApplySnapshot(snap.value());
+    if (s.IsUnavailable()) return HandleReplicaCrash();  // retried: flag stays
+    if (s.IsOutOfSpace()) {
+      Status cs = tb_->replica->db->Checkpoint();
+      if (cs.IsUnavailable()) return HandleReplicaCrash();
+      return Status::OK();  // rolled back whole; retried on the next ship
+    }
+    IPA_RETURN_NOT_OK(s);
+    force_catchup_ = false;
+    return Status::OK();
+  }
+
+  /// Replica-side crash protocol. The primary and the model are unaffected;
+  /// the replica recovers from its own WAL (a half-applied frame rolls back)
+  /// and rebuilds its repl state from the meta/map tables.
+  Status HandleReplicaCrash() {
+    res_.crashes++;
+    tb_->replica->db->SimulateCrash();
+    tb_->replica->dev.PowerCycle();
+    IPA_RETURN_NOT_OK(ReplicaRecoverLoop());
+    IPA_RETURN_NOT_OK(tb_->repl_replica->RecoverReplState());
+    return ReplicaDeepCheck();
+  }
+
+  Status ReplicaRecoverLoop() {
+    bool rearmed = false;
+    for (int attempt = 0; attempt < 8; attempt++) {
+      if (!rearmed && r_rearm_delta_ > 0) {
+        flash::PowerLossPolicy p;
+        p.inject_at_op = r_rearm_delta_ - 1;
+        p.seed = r_rearm_seed_;
+        tb_->replica->dev.SetPowerLossPolicy(p);
+        rearmed = true;
+        r_rearm_delta_ = 0;
+      } else {
+        tb_->replica->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+      }
+      Status s = tb_->replica->db->RecoverAfterPowerLoss();
+      if (s.ok()) {
+        tb_->replica->dev.SetPowerLossPolicy(flash::PowerLossPolicy{});
+        return Status::OK();
+      }
+      if (!s.IsUnavailable()) return s;
+      res_.crashes++;  // double crash: power died during replica recovery
+      tb_->replica->db->SimulateCrash();
+      tb_->replica->dev.PowerCycle();
+    }
+    return Status::Internal(
+        "replica recovery did not converge after 8 power cycles");
+  }
+
+  /// Structural audits on the replica stack. (The logical oracle is
+  /// CheckReplicaConvergence, which needs a drained stream.)
+  Status ReplicaDeepCheck() {
+    IPA_RETURN_NOT_OK(tb_->replica->dev.AuditState());
+    IPA_RETURN_NOT_OK(tb_->replica->backend->Audit());
+    IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->replica->dev,
+                                            tb_->replica->noftl,
+                                            tb_->replica->region));
+    return rshadow_.ObserveAndCheck(tb_->replica->dev);
+  }
+
+  /// Drain the stream end-to-end (catch-up included), then require the
+  /// replica's logical content to match the model's committed view byte for
+  /// byte. Replica cuts during the drain are recovered and the drain resumes.
+  Status ReplSync() {
+    if (txn_ != engine::kInvalidTxn) {
+      Op commit;
+      commit.kind = Op::Kind::kCommit;
+      IPA_RETURN_NOT_OK(Execute(commit));
+    }
+    PumpOutbound();
+    for (int guard = 0; guard < 4096; guard++) {
+      if (!force_catchup_ && net_.empty()) {
+        Status s = CheckReplicaConvergence();
+        if (s.IsUnavailable() && !tb_->replica->dev.powered_on()) {
+          IPA_RETURN_NOT_OK(HandleReplicaCrash());
+          continue;  // replica recovered; scan again
+        }
+        return s;
+      }
+      IPA_RETURN_NOT_OK(ShipOne());
+      PumpOutbound();
+    }
+    return Status::Internal("replication stream did not drain");
+  }
+
+  /// The replication oracle: the replica stores origin identities, and every
+  /// tuple originated on the primary (writer 1) under its primary rid — so
+  /// the replica's logical map, re-keyed by rid, must equal the model's
+  /// committed view exactly.
+  Status CheckReplicaConvergence() {
+    repl::ReplNode::LogicalMap lm;
+    IPA_RETURN_NOT_OK(tb_->repl_replica->ScanLogical(&lm));
+    ModelDb::Map got;
+    for (auto& [key, bytes] : lm) {
+      if (key.first != 1) {
+        return Status::Corruption("replica holds a foreign-origin tuple");
+      }
+      got[key.second] = std::move(bytes);
+    }
+    const ModelDb::Map& want = model_.committed();
+    if (got == want) return Status::OK();
+    for (const auto& [k, v] : want) {
+      auto it = got.find(k);
+      if (it == got.end()) {
+        return Status::Corruption("replica convergence: tuple " +
+                                  std::to_string(k) +
+                                  " missing from the replica");
+      }
+      if (it->second != v) {
+        size_t d = 0;
+        while (d < v.size() && d < it->second.size() && it->second[d] == v[d]) {
+          d++;
+        }
+        return Status::Corruption(
+            "replica convergence: tuple " + std::to_string(k) +
+            " diverges at byte " + std::to_string(d));
+      }
+    }
+    return Status::Corruption(
+        "replica convergence: phantom tuples on the replica");
   }
 
   Status Execute(const Op& op) {
@@ -622,10 +877,26 @@ class Runner {
         flash::PowerLossPolicy p;
         p.inject_at_op = op.a % 24;
         p.seed = op.seed;
+        if (Repl() && (op.a >> 32) % 2 == 1) {
+          // Cut the REPLICA: some later apply-side flash mutation tears.
+          tb_->replica->dev.SetPowerLossPolicy(p);
+          r_rearm_delta_ = (op.b % 4 == 0) ? 1 + op.c % 6 : 0;
+          r_rearm_seed_ = op.seed ^ 0xD1B54A32D192ED03ull;
+          return Status::OK();
+        }
         tb_->dev.SetPowerLossPolicy(p);
         rearm_delta_ = (op.b % 4 == 0) ? 1 + op.c % 6 : 0;
         rearm_seed_ = op.seed ^ 0xD1B54A32D192ED03ull;
         return Status::OK();
+      }
+      case Op::Kind::kShip: {
+        if (!Repl()) return Status::OK();
+        PumpOutbound();
+        return ShipOne();
+      }
+      case Op::Kind::kReplSync: {
+        if (!Repl()) return Status::OK();
+        return ReplSync();
       }
     }
     return Status::Internal("unknown op kind");
@@ -829,6 +1100,9 @@ class Runner {
         rearm_seed_ = op.seed ^ 0xD1B54A32D192ED03ull;
         return Status::OK();
       }
+      case Op::Kind::kShip:
+      case Op::Kind::kReplSync:
+        return Status::OK();  // kRepl-only ops; no-op on other schedules
     }
     return Status::Internal("unknown op kind");
   }
@@ -884,6 +1158,22 @@ class Runner {
           rs.torn_pages_quarantined}) {
       add64(v);
     }
+    if (Repl()) {
+      // Replica-side physical activity and the stream counters are part of
+      // the run's identity too.
+      const flash::DeviceStats& rds = tb_->replica->dev.stats();
+      const ftl::RegionStats rrs = tb_->replica->backend->stats();
+      const repl::ReplStats& ps = tb_->repl_primary->stats();
+      const repl::ReplStats& as = tb_->repl_replica->stats();
+      for (uint64_t v :
+           {rds.page_programs, rds.delta_programs, rds.block_erases,
+            rrs.host_page_writes, rrs.host_delta_writes, ps.frames_emitted,
+            ps.delta_ops, ps.full_ops, ps.foldbacks, as.frames_applied,
+            as.duplicates, as.gap_rejected, as.snapshots_applied,
+            as.lww_skips}) {
+        add64(v);
+      }
+    }
     return crc;
   }
 
@@ -895,6 +1185,14 @@ class Runner {
   engine::TxnId txn_ = engine::kInvalidTxn;
   uint64_t rearm_delta_ = 0;
   uint64_t rearm_seed_ = 0;
+
+  // kRepl state: the simulated wire, the catch-up latch, the replica's own
+  // re-cut arming and its ISPP shadow.
+  std::deque<std::vector<uint8_t>> net_;
+  bool force_catchup_ = false;
+  uint64_t r_rearm_delta_ = 0;
+  uint64_t r_rearm_seed_ = 0;
+  FlashShadow rshadow_;
 
   // kSharded session state (see the "kSharded session" block above).
   bool s_open_ = false;
@@ -941,6 +1239,14 @@ std::vector<Op> GenerateOps(const FuzzConfig& cfg) {
       if (w.kind == Op::Kind::kPowerCut) w.weight = 0;
       if (w.kind == Op::Kind::kUpdate) w.weight += 5;
     }
+  }
+  if (cfg.schedule == Schedule::kRepl) {
+    // Interleave shipping with the DML so the replica applies mid-workload
+    // (and power cuts land on either node's flash activity); the periodic
+    // sync barrier drains the stream and runs the convergence oracle. The
+    // appended entries leave every other schedule's draw sequence untouched.
+    main.push_back({Op::Kind::kShip, 20});
+    main.push_back({Op::Kind::kReplSync, 3});
   }
 
   Rng rng(cfg.seed ^

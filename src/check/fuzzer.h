@@ -48,8 +48,15 @@ enum class Schedule : uint8_t {
                  ///< warm/cold GC): tagged writes, OOB reverse-map mounts
                  ///< carrying the stream byte, GC/mount ops torn by power
                  ///< cuts, counter conservation across all frontiers.
+  kRepl,         ///< Primary + replica pair bridged by the delta-changeset
+                 ///< stream (src/repl): DML runs on the primary, kShip ops
+                 ///< deliver frames to the replica, power cuts hit EITHER
+                 ///< node (with optional re-cut during that node's
+                 ///< recovery), chain gaps heal via snapshot catch-up, and
+                 ///< kReplSync drains the stream and demands byte-identical
+                 ///< logical convergence with the model's committed view.
 };
-constexpr int kNumSchedules = 8;
+constexpr int kNumSchedules = 9;
 
 const char* ScheduleName(Schedule s);
 bool ParseSchedule(const std::string& name, Schedule* out);
@@ -70,7 +77,9 @@ struct Op {
     kCheckpoint,
     kScrub,         ///< Correct-and-Refresh maintenance pass.
     kWearLevel,     ///< Static wear-leveling swap attempt.
-    kPowerCut,      ///< Arm the device power-loss policy.
+    kPowerCut,      ///< Arm the device power-loss policy (kRepl: either node).
+    kShip,          ///< kRepl only: deliver the oldest in-flight frame.
+    kReplSync,      ///< kRepl only: drain the stream, check convergence.
   };
   Kind kind = Kind::kInsert;
   uint64_t a = 0;

@@ -168,6 +168,22 @@ void Database::ForceLog() {
   }
   wal_.FlushAll();
   pending_commit_forces_ = 0;
+  DeliverCommitEvents();
+}
+
+void Database::DeliverCommitEvents() {
+  if (!commit_hook_ || pending_commit_events_.empty()) return;
+  if (delivering_events_) return;  // hook re-entered the engine; no recursion
+  delivering_events_ = true;
+  size_t delivered = 0;
+  while (delivered < pending_commit_events_.size() &&
+         pending_commit_events_[delivered].commit_lsn < wal_.durable_lsn()) {
+    commit_hook_(pending_commit_events_[delivered]);
+    delivered++;
+  }
+  pending_commit_events_.erase(pending_commit_events_.begin(),
+                               pending_commit_events_.begin() + delivered);
+  delivering_events_ = false;
 }
 
 void Database::ForceLogTo(Lsn lsn) {
@@ -181,7 +197,35 @@ void Database::ForceLogTo(Lsn lsn) {
 Status Database::CommitRecord(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
-  Log(LogRecord{.type = LogType::kCommit}, txn);
+  Lsn commit_lsn = Log(LogRecord{.type = LogType::kCommit}, txn);
+  if (commit_hook_) {
+    // Capture the transaction's DML records now, while the whole chain is
+    // guaranteed readable (checkpoint truncation is bounded by the oldest
+    // active transaction, and this one is still in txns_). Delivery waits
+    // for the commit record's force below.
+    CommitEvent ev;
+    ev.txn = txn;
+    ev.commit_lsn = commit_lsn;
+    Lsn cur = it->second.last_lsn;  // the commit record itself
+    while (cur != kInvalidLsn) {
+      auto rec = wal_.Read(cur);
+      if (!rec.ok()) break;  // truncated prefix: capture what survives
+      Lsn prev = rec.value().prev;
+      switch (rec.value().type) {
+        case LogType::kInsert:
+        case LogType::kUpdate:
+        case LogType::kDelete:
+        case LogType::kResize:
+          ev.records.push_back(std::move(rec.value()));
+          break;
+        default:
+          break;  // kBegin/kCommit; CLRs never appear in a committed chain
+      }
+      cur = prev;
+    }
+    std::reverse(ev.records.begin(), ev.records.end());
+    pending_commit_events_.push_back(std::move(ev));
+  }
   // No-force applies to data pages; the commit record itself is forced —
   // immediately by default, or batched by group commit (docs/SHARDING.md).
   if (pending_commit_forces_ == 0) oldest_pending_commit_ = clock_->Now();
@@ -229,7 +273,7 @@ Status Database::Abort(TxnId txn) {
     IPA_RETURN_NOT_OK(UndoRecord(txn, rec, cur));
     cur = next;
   }
-  Log(LogRecord{.type = LogType::kAbort}, txn);
+  Lsn abort_lsn = Log(LogRecord{.type = LogType::kAbort}, txn);
   ForceLog();
   locks_.ReleaseAll(txn);
   txns_.erase(txn);
@@ -238,6 +282,7 @@ Status Database::Abort(TxnId txn) {
   // Recovery rollbacks are not workload aborts (the caller rebalances
   // txn_stats_); keep the process-wide counters on the same definition.
   (in_recovery_ ? Dm().recovery_rollbacks : Dm().aborts).Inc();
+  if (abort_hook_ && !in_recovery_) abort_hook_(txn, abort_lsn);
   return Status::OK();
 }
 
@@ -501,8 +546,33 @@ void Database::SimulateCrash() {
   txns_.clear();
   txn_begin_time_.clear();
   locks_ = LockManager{};
-  // Unforced group-commit batches died with the log tail.
+  // Unforced group-commit batches died with the log tail, and undelivered
+  // commit events are process state that dies with the crash too (their
+  // transactions stay durable; subscribers resynchronize via catch-up).
   pending_commit_forces_ = 0;
+  pending_commit_events_.clear();
+}
+
+Result<std::vector<uint8_t>> Database::ReadTuple(Rid rid) {
+  // Deliberately avoids WithPage: no cleaner/reclaim piggy-backing, so a
+  // commit hook can read tuples without re-entering maintenance.
+  IPA_ASSIGN_OR_RETURN(BufferPool::Frame * frame, pool_->Fix(rid.page));
+  storage::SlottedPage view(frame->cur.data(), config_.page_size);
+  auto tuple = view.Read(rid.slot);
+  std::vector<uint8_t> out;
+  if (tuple.ok()) out.assign(tuple.value().begin(), tuple.value().end());
+  pool_->Unfix(frame, false);
+  if (!tuple.ok()) return tuple.status();
+  return out;
+}
+
+Result<TableId> Database::TableOfPage(PageId id) const {
+  for (size_t t = 0; t < tables_.size(); t++) {
+    for (PageId p : tables_[t].pages) {
+      if (p.raw == id.raw) return static_cast<TableId>(t);
+    }
+  }
+  return Status::NotFound("page not owned by any table");
 }
 
 // ---------------------------------------------------------------------------

@@ -147,6 +147,44 @@ class Database {
     return id;
   }
 
+  // -- Change capture (src/repl) ----------------------------------------------
+
+  /// Everything one committed transaction logged, in forward LSN order
+  /// (kInsert/kUpdate/kDelete/kResize records only — kBegin/kCommit and
+  /// non-transactional records are omitted). Delivered to the commit hook
+  /// once the commit record is durable, so a subscriber never sees a
+  /// transaction a crash could still un-commit.
+  struct CommitEvent {
+    TxnId txn = kInvalidTxn;
+    Lsn commit_lsn = kInvalidLsn;
+    std::vector<LogRecord> records;
+  };
+  using CommitHook = std::function<void(const CommitEvent&)>;
+  using AbortHook = std::function<void(TxnId, Lsn abort_lsn)>;
+
+  /// Subscribe to durable commits (replication shipper). The hook runs
+  /// synchronously once the commit record's log force completes — immediately
+  /// under the default group_commit_ops=1, at the closing force otherwise.
+  /// Pass nullptr to unsubscribe. With no hook set the commit path is
+  /// bit-identical to the unhooked engine.
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  /// Subscribe to workload aborts (abort boundaries in the change stream).
+  /// Recovery rollbacks are not delivered.
+  void SetAbortHook(AbortHook hook) { abort_hook_ = std::move(hook); }
+
+  /// Non-transactional point read of one tuple (no locks, no maintenance
+  /// piggy-backing — safe to call from a commit hook).
+  Result<std::vector<uint8_t>> ReadTuple(Rid rid);
+
+  /// Owning table of a page, or NotFound for pages no table owns (e.g.
+  /// dropped tables). Linear in the catalog; meant for change capture, not
+  /// hot paths.
+  Result<TableId> TableOfPage(PageId id) const;
+
+  storage::Scheme scheme_of(TablespaceId ts) const {
+    return tablespaces_[ts].scheme;
+  }
+
   // -- Maintenance / recovery --------------------------------------------------
 
   /// Sharp checkpoint: flush all dirty pages, emit a checkpoint record,
@@ -262,6 +300,16 @@ class Database {
   /// simulated time the oldest of them committed at.
   uint32_t pending_commit_forces_ = 0;
   SimTime oldest_pending_commit_ = 0;
+
+  /// Change-capture subscribers (SetCommitHook/SetAbortHook). Commit events
+  /// queue until their commit record is durable; SimulateCrash discards the
+  /// queue (an undelivered event's transaction is still durable — a restarted
+  /// subscriber recovers it via catch-up, not the hook).
+  CommitHook commit_hook_;
+  AbortHook abort_hook_;
+  std::vector<CommitEvent> pending_commit_events_;
+  bool delivering_events_ = false;
+  void DeliverCommitEvents();
 };
 
 }  // namespace ipa::engine

@@ -1,0 +1,170 @@
+#include "repl/changeset.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace ipa::repl {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46525049;  // "IPRF" little-endian
+constexpr size_t kHeaderBytes = 12;      // magic + payload_len + crc
+
+void Put8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+void Put16(std::vector<uint8_t>& out, uint16_t v) {
+  size_t at = out.size();
+  out.resize(at + 2);
+  EncodeU16(out.data() + at, v);
+}
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  size_t at = out.size();
+  out.resize(at + 4);
+  EncodeU32(out.data() + at, v);
+}
+void Put64(std::vector<uint8_t>& out, uint64_t v) {
+  size_t at = out.size();
+  out.resize(at + 8);
+  EncodeU64(out.data() + at, v);
+}
+
+/// Bounds-checked reader over the frame payload.
+struct Cursor {
+  const uint8_t* p;
+  size_t left;
+  bool ok = true;
+
+  bool Take(size_t n, const uint8_t** at) {
+    if (!ok || left < n) {
+      ok = false;
+      return false;
+    }
+    *at = p;
+    p += n;
+    left -= n;
+    return true;
+  }
+  uint8_t U8() {
+    const uint8_t* at;
+    return Take(1, &at) ? at[0] : 0;
+  }
+  uint16_t U16() {
+    const uint8_t* at;
+    return Take(2, &at) ? DecodeU16(at) : 0;
+  }
+  uint32_t U32() {
+    const uint8_t* at;
+    return Take(4, &at) ? DecodeU32(at) : 0;
+  }
+  uint64_t U64() {
+    const uint8_t* at;
+    return Take(8, &at) ? DecodeU64(at) : 0;
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Frame& f) {
+  std::vector<uint8_t> payload;
+  Put8(payload, static_cast<uint8_t>(f.kind));
+  Put32(payload, f.writer);
+  Put64(payload, f.lsn);
+  Put64(payload, f.prev_lsn);
+  Put32(payload, static_cast<uint32_t>(f.vv.applied.size()));
+  for (const auto& [w, lsn] : f.vv.applied) {
+    Put32(payload, w);
+    Put64(payload, lsn);
+  }
+  Put32(payload, static_cast<uint32_t>(f.ops.size()));
+  for (const ChangeOp& op : f.ops) {
+    Put8(payload, static_cast<uint8_t>(op.kind));
+    Put32(payload, op.origin);
+    Put64(payload, op.rid);
+    Put32(payload, op.table);
+    Put16(payload, op.offset);
+    Put64(payload, op.version);
+    Put32(payload, op.vwriter);
+    Put32(payload, static_cast<uint32_t>(op.bytes.size()));
+    payload.insert(payload.end(), op.bytes.begin(), op.bytes.end());
+  }
+
+  std::vector<uint8_t> wire(kHeaderBytes);
+  EncodeU32(wire.data(), kMagic);
+  EncodeU32(wire.data() + 4, static_cast<uint32_t>(payload.size()));
+  EncodeU32(wire.data() + 8, Crc32c(payload.data(), payload.size()));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+Result<Frame> DecodeFrame(std::span<const uint8_t> wire) {
+  if (wire.size() < kHeaderBytes) {
+    return Status::Corruption("repl frame shorter than its header");
+  }
+  if (DecodeU32(wire.data()) != kMagic) {
+    return Status::Corruption("repl frame magic mismatch");
+  }
+  uint32_t len = DecodeU32(wire.data() + 4);
+  if (wire.size() != kHeaderBytes + len) {
+    return Status::Corruption("repl frame length mismatch (torn shipment)");
+  }
+  uint32_t want_crc = DecodeU32(wire.data() + 8);
+  const uint8_t* payload = wire.data() + kHeaderBytes;
+  if (Crc32c(payload, len) != want_crc) {
+    return Status::Corruption("repl frame CRC mismatch (torn shipment)");
+  }
+
+  Cursor c{payload, len};
+  Frame f;
+  uint8_t kind = c.U8();
+  if (kind < static_cast<uint8_t>(FrameKind::kChangeset) ||
+      kind > static_cast<uint8_t>(FrameKind::kSnapshotEnd)) {
+    return Status::Corruption("repl frame kind out of range");
+  }
+  f.kind = static_cast<FrameKind>(kind);
+  f.writer = c.U32();
+  f.lsn = c.U64();
+  f.prev_lsn = c.U64();
+  uint32_t vv_count = c.U32();
+  if (!c.ok || vv_count > c.left) {
+    return Status::Corruption("repl frame version-vector overruns payload");
+  }
+  for (uint32_t i = 0; i < vv_count; i++) {
+    WriterId w = c.U32();
+    uint64_t lsn = c.U64();
+    if (c.ok) f.vv.applied[w] = lsn;
+  }
+  uint32_t op_count = c.U32();
+  if (!c.ok || op_count > c.left) {
+    return Status::Corruption("repl frame op list overruns payload");
+  }
+  f.ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; i++) {
+    ChangeOp op;
+    uint8_t op_kind = c.U8();
+    if (op_kind < static_cast<uint8_t>(ChangeKind::kDelta) ||
+        op_kind > static_cast<uint8_t>(ChangeKind::kDelete)) {
+      return Status::Corruption("repl op kind out of range");
+    }
+    op.kind = static_cast<ChangeKind>(op_kind);
+    op.origin = c.U32();
+    op.rid = c.U64();
+    op.table = c.U32();
+    op.offset = c.U16();
+    op.version = c.U64();
+    op.vwriter = c.U32();
+    uint32_t blen = c.U32();
+    const uint8_t* at;
+    if (!c.Take(blen, &at)) {
+      return Status::Corruption("repl op bytes overrun payload");
+    }
+    op.bytes.assign(at, at + blen);
+    f.ops.push_back(std::move(op));
+  }
+  if (!c.ok || c.left != 0) {
+    return Status::Corruption("repl frame payload has trailing bytes");
+  }
+  return f;
+}
+
+}  // namespace ipa::repl

@@ -1,0 +1,108 @@
+// Replication changeset wire format (docs/REPLICATION.md).
+//
+// A primary exports its committed transactions as a stream of CRC-framed
+// *changesets*: WAL-ordered logical ops versioned by the primary's commit
+// LSN. Byte-range updates that fit the page's IPA budget travel as
+// delta-style (offset, bytes) patches — the same page differentials the
+// paper appends in place — while inserts, whole-tuple replacements and
+// budget-exceeding updates fold back to full tuple images, mirroring the
+// engine's own delta-vs-out-of-place flush decision. Abort records ship as
+// empty boundary frames so the per-writer LSN chain stays contiguous across
+// rolled-back transactions.
+//
+// Versioning follows the cr-sqlite changeset/version-vector model: every op
+// carries a (version, writer) pair — the originating writer's commit LSN —
+// and an applier keeps a version vector of the highest LSN applied per
+// writer. Frames are self-delimiting and CRC32C-protected; a torn shipment
+// decodes to Corruption and must be rejected without any state change.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipa::repl {
+
+/// Globally unique id of a writing node (a primary, or a promoted replica).
+using WriterId = uint32_t;
+
+/// "No LSN known": a shipper that lost its volatile stream state (restart)
+/// stamps this as prev_lsn, forcing the receiver into catch-up.
+constexpr uint64_t kUnknownLsn = ~0ull;
+
+struct VersionVector {
+  /// Highest origin-LSN applied, per writer. Absent writer = 0.
+  std::map<WriterId, uint64_t> applied;
+
+  uint64_t Of(WriterId w) const {
+    auto it = applied.find(w);
+    return it == applied.end() ? 0 : it->second;
+  }
+  void Advance(WriterId w, uint64_t lsn) {
+    uint64_t& cur = applied[w];
+    if (lsn > cur) cur = lsn;
+  }
+  void MergeMax(const VersionVector& o) {
+    for (const auto& [w, lsn] : o.applied) Advance(w, lsn);
+  }
+  bool operator==(const VersionVector&) const = default;
+};
+
+enum class ChangeKind : uint8_t {
+  kDelta = 1,   ///< Byte patch at `offset` (fit the IPA budget on the primary).
+  kFull = 2,    ///< Full tuple image: insert-or-replace (foldback / snapshot).
+  kDelete = 3,  ///< Tuple deletion (tombstone on the applier).
+};
+
+/// One logical change. Tuples are identified by their *origin* identity —
+/// (origin writer, rid the tuple was created under on that writer) — which is
+/// stable across nodes; appliers translate it to a local rid (repl/node.h).
+struct ChangeOp {
+  ChangeKind kind = ChangeKind::kFull;
+  WriterId origin = 0;
+  uint64_t rid = 0;       ///< engine::Rid::Pack() on the origin writer.
+  uint32_t table = 0;     ///< Index into the replicated table set.
+  uint16_t offset = 0;    ///< kDelta: byte offset within the tuple.
+  uint64_t version = 0;   ///< LWW version: originating commit LSN.
+  WriterId vwriter = 0;   ///< LWW tie-break: writer that produced `version`.
+  std::vector<uint8_t> bytes;  ///< Patch bytes / tuple image (empty: delete).
+
+  bool operator==(const ChangeOp&) const = default;
+};
+
+enum class FrameKind : uint8_t {
+  kChangeset = 1,      ///< One committed transaction's ops.
+  kAbortMark = 2,      ///< Abort boundary (no ops; advances the LSN chain).
+  kSnapshotBegin = 3,  ///< Catch-up: start of a full-state ship at `lsn`.
+                       ///< prev_lsn carries the snapshot's LWW version basis
+                       ///< (shipper's version_floor + snap LSN).
+  kSnapshotItem = 4,   ///< Catch-up: one tuple (single kFull/kDelete op).
+  kSnapshotEnd = 5,    ///< Catch-up: end marker, carries the shipper's vv.
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kChangeset;
+  WriterId writer = 0;     ///< Shipping node.
+  uint64_t lsn = 0;        ///< Commit/abort LSN; snapshot LSN for snapshots.
+  uint64_t prev_lsn = 0;   ///< LSN of the previous frame this writer shipped
+                           ///< (kUnknownLsn after a shipper restart).
+  VersionVector vv;        ///< kSnapshotEnd: shipper's version vector.
+  std::vector<ChangeOp> ops;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Encode with the self-delimiting CRC frame header
+/// [magic u32 | payload_len u32 | crc32c u32 | payload].
+std::vector<uint8_t> EncodeFrame(const Frame& f);
+
+/// Decode and verify one frame. Returns Corruption for anything torn: short
+/// buffer, bad magic, length mismatch, CRC mismatch, or a payload that does
+/// not parse exactly.
+Result<Frame> DecodeFrame(std::span<const uint8_t> wire);
+
+}  // namespace ipa::repl

@@ -5,11 +5,23 @@
 
 #include "common/bytes.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "storage/slotted_page.h"
 
 namespace ipa::storage {
 
 namespace {
+
+/// Torn delta records rejected by the read/apply paths. Every rejection is
+/// one scan hitting a record whose ctrl byte is programmed but whose body
+/// fails validation (a torn in-place append); the same physical record counts
+/// once per scan until a scrub or quarantine clears it. Exported so the
+/// replication convergence oracle can assert that torn-record drops are
+/// observable, not silent.
+metrics::Counter& RejectedTorn() {
+  static metrics::Counter c{"storage.delta.rejected_torn"};
+  return c;
+}
 
 struct AreaView {
   uint32_t delta_off;
@@ -103,7 +115,10 @@ uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
     uint32_t base = v.delta_off + r * v.record_bytes;
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;  // erased ctrl byte: no further records
-    if (!ValidRecord(page + base, v)) break;  // torn record: never written
+    if (!ValidRecord(page + base, v)) {  // torn record: never written
+      RejectedTorn().Inc();
+      break;
+    }
     count++;
   }
   return count;
@@ -118,7 +133,10 @@ uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
     uint32_t base = v.delta_off + r * v.record_bytes;
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;
-    if (!ValidRecord(page + base, v)) break;  // torn record: never written
+    if (!ValidRecord(page + base, v)) {  // torn record: never written
+      RejectedTorn().Inc();
+      break;
+    }
     for (uint32_t p = 0; p < pairs; p++) {
       const uint8_t* pair = page + base + 1 + 3 * p;
       uint16_t offset = DecodeU16(pair + 1);

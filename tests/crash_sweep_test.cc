@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/repl_sweep.h"
+
 namespace ipa {
 namespace bench {
 namespace {
@@ -115,6 +117,71 @@ TEST(CrashSweep, DeterministicAcrossJobCounts) {
     EXPECT_EQ(a.points[i].quarantined, b.points[i].quarantined);
   }
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Replication sweep (bench/repl_sweep.h): power cuts at every apply-side
+// flash op on the replica, torn-delivery + primary power cut at every
+// shipment boundary, byte-exact convergence verification per point.
+// ---------------------------------------------------------------------------
+
+ReplSweepConfig SmallReplConfig() {
+  ReplSweepConfig cfg;
+  cfg.txns = 24;
+  cfg.accounts = 24;
+  cfg.max_points = 72;
+  cfg.seed = 42;
+  cfg.scale_with_env = false;
+  return cfg;
+}
+
+TEST(ReplSweep, EveryPointConverges) {
+  auto result = RunReplCrashSweep(SmallReplConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ReplSweepReport& rep = result.value();
+
+  ASSERT_GT(rep.apply_ops, 0u);
+  ASSERT_GT(rep.shipments, 0u);
+  ASSERT_FALSE(rep.points.empty());
+  uint64_t replica_points = 0, shipment_points = 0;
+  for (const ReplSweepPoint& p : rep.points) {
+    EXPECT_TRUE(p.ok) << (p.shipment ? "shipment " : "apply-op ") << p.index
+                      << ": " << p.error;
+    EXPECT_TRUE(p.fired) << (p.shipment ? "shipment " : "apply-op ")
+                         << p.index << " never engaged";
+    (p.shipment ? shipment_points : replica_points)++;
+  }
+  EXPECT_EQ(rep.failures, 0u);
+  // The subsample must preserve the mix: both drill kinds exercised.
+  EXPECT_GT(replica_points, 0u);
+  EXPECT_GT(shipment_points, 0u);
+}
+
+TEST(ReplSweep, DeterministicAcrossJobCounts) {
+  ReplSweepConfig cfg = SmallReplConfig();
+  cfg.max_points = 48;
+
+  cfg.jobs = 1;
+  auto serial = RunReplCrashSweep(cfg);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  cfg.jobs = 8;
+  auto parallel = RunReplCrashSweep(cfg);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  const ReplSweepReport& a = serial.value();
+  const ReplSweepReport& b = parallel.value();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); i++) {
+    EXPECT_EQ(a.points[i].shipment, b.points[i].shipment);
+    EXPECT_EQ(a.points[i].index, b.points[i].index);
+    EXPECT_EQ(a.points[i].fired, b.points[i].fired);
+    EXPECT_EQ(a.points[i].ok, b.points[i].ok);
+    EXPECT_EQ(a.points[i].commits, b.points[i].commits);
+    EXPECT_EQ(a.points[i].frames, b.points[i].frames);
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.failures, 0u);
 }
 
 }  // namespace

@@ -136,6 +136,21 @@ TEST(Differential, KnownAnswerAnchorOddMlc) {
   EXPECT_EQ(r.fingerprint, 485282324u);
 }
 
+// The replication fingerprint additionally covers the replica's device and
+// region counters plus the stream counters (frames emitted/applied, deltas,
+// foldbacks, duplicates, gaps, snapshots, LWW skips).
+TEST(Differential, KnownAnswerAnchorReplication) {
+  FuzzConfig cfg;
+  cfg.schedule = Schedule::kRepl;
+  cfg.seed = 5;
+  cfg.ops = 200;
+  FuzzResult r = RunFuzz(cfg);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.commits, 22u);
+  EXPECT_EQ(r.crashes, 3u);
+  EXPECT_EQ(r.fingerprint, 124965714u);
+}
+
 // ---------------------------------------------------------------------------
 // The checker catches real bugs: with the torn-append safety checks disabled
 // through the fault-injection points, a seeded run must fail, the shrinker

@@ -8,6 +8,12 @@
 //        --backend noftl|pageftl-greedy|pageftl-cb|streamftl (FTL stack under test)
 //        --jobs N (0 = IPA_JOBS / hardware) --json PATH --metrics-json PATH
 // IPA_SCALE scales --txns (CI runs a downscaled sweep with IPA_SCALE=0.05).
+//
+// --repl switches to the replication sweep (bench/repl_sweep.h): power cuts
+// at every apply-side flash op on the REPLICA plus a torn-delivery + primary
+// power-cut drill at every shipment boundary, each point verified for
+// byte-exact primary/replica convergence. --backend is ignored (the
+// replicated pair runs on the NoFtl stack).
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +21,7 @@
 #include <string>
 
 #include "bench/crash_sweep.h"
+#include "bench/repl_sweep.h"
 #include "common/metrics.h"
 
 namespace {
@@ -33,6 +40,81 @@ const char* ArgStr(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+bool WriteReplJson(const char* path, const ipa::bench::ReplSweepReport& rep) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"apply_ops\": %llu,\n",
+               static_cast<unsigned long long>(rep.apply_ops));
+  std::fprintf(f, "  \"shipments\": %llu,\n",
+               static_cast<unsigned long long>(rep.shipments));
+  std::fprintf(f, "  \"points\": %zu,\n", rep.points.size());
+  std::fprintf(f, "  \"fired\": %llu,\n",
+               static_cast<unsigned long long>(rep.fired));
+  std::fprintf(f, "  \"failures\": %llu,\n",
+               static_cast<unsigned long long>(rep.failures));
+  std::fprintf(f, "  \"fingerprint\": %u\n", rep.Fingerprint());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+int RunReplSweep(int argc, char** argv) {
+  ipa::bench::ReplSweepConfig cfg;
+  cfg.txns = ArgU64(argc, argv, "--txns", cfg.txns);
+  cfg.accounts =
+      static_cast<uint32_t>(ArgU64(argc, argv, "--accounts", cfg.accounts));
+  cfg.max_points = ArgU64(argc, argv, "--points", cfg.max_points);
+  cfg.seed = ArgU64(argc, argv, "--seed", cfg.seed);
+  cfg.jobs = static_cast<unsigned>(ArgU64(argc, argv, "--jobs", 0));
+
+  auto result = ipa::bench::RunReplCrashSweep(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "crash_sweep --repl: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const ipa::bench::ReplSweepReport& rep = result.value();
+  for (const auto& p : rep.points) {
+    if (!p.ok) {
+      std::fprintf(stderr, "FAIL @%s %llu: %s\n",
+                   p.shipment ? "shipment" : "apply-op",
+                   static_cast<unsigned long long>(p.index), p.error.c_str());
+    }
+  }
+  std::printf(
+      "repl crash sweep: %zu points (%llu replica apply ops + %llu shipment "
+      "boundaries)\n",
+      rep.points.size(), static_cast<unsigned long long>(rep.apply_ops),
+      static_cast<unsigned long long>(rep.shipments));
+  std::printf("  drills fired       %llu\n",
+              static_cast<unsigned long long>(rep.fired));
+  std::printf("  failures           %llu\n",
+              static_cast<unsigned long long>(rep.failures));
+  std::printf("  fingerprint        %u\n", rep.Fingerprint());
+
+  ipa::metrics::Gauge("crash_sweep.repl.fingerprint").Set(rep.Fingerprint());
+  ipa::metrics::Gauge("crash_sweep.repl.points")
+      .Set(static_cast<int64_t>(rep.points.size()));
+  ipa::metrics::Gauge("crash_sweep.repl.failures")
+      .Set(static_cast<int64_t>(rep.failures));
+
+  if (const char* path = ArgStr(argc, argv, "--json")) {
+    if (!WriteReplJson(path, rep)) {
+      std::fprintf(stderr, "crash_sweep: cannot write %s\n", path);
+      return 2;
+    }
+  }
+  return rep.failures == 0 ? 0 : 1;
 }
 
 bool WriteJson(const char* path, const ipa::bench::CrashSweepReport& rep) {
@@ -56,6 +138,7 @@ bool WriteJson(const char* path, const ipa::bench::CrashSweepReport& rep) {
 
 int main(int argc, char** argv) {
   ipa::metrics::InitFromArgs(argc, argv);
+  if (HasFlag(argc, argv, "--repl")) return RunReplSweep(argc, argv);
   ipa::bench::CrashSweepConfig cfg;
   cfg.txns = ArgU64(argc, argv, "--txns", cfg.txns);
   cfg.accounts = static_cast<uint32_t>(ArgU64(argc, argv, "--accounts", cfg.accounts));
