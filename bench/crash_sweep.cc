@@ -54,7 +54,7 @@ struct Testbed {
 
   Testbed() : dev(Geo(), flash::SlcTiming()), noftl(&dev) {}
 
-  Status Open(workload::Backend kind) {
+  Status Open(workload::Backend kind, storage::DeltaCodec codec) {
     engine::EngineConfig ec;
     ec.page_size = Geo().page_size;
     ec.buffer_pages = 12;  // tiny pool: constant steal under the workload
@@ -63,6 +63,7 @@ struct Testbed {
 
     if (kind == workload::Backend::kNoFtl) {
       storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+      scheme.codec = static_cast<uint8_t>(codec);
       ftl::RegionConfig rc;
       rc.name = "sweep";
       rc.logical_pages = 256;
@@ -262,7 +263,7 @@ CrashSweepPoint RunPoint(const CrashSweepConfig& cfg, uint32_t accounts,
   CrashSweepPoint p;
   p.inject_at = inject_at;
   Testbed tb;
-  Status open = tb.Open(cfg.backend);
+  Status open = tb.Open(cfg.backend, cfg.codec);
   if (!open.ok()) {
     p.error = "open: " + open.ToString();
     return p;
@@ -341,7 +342,7 @@ Result<CrashSweepReport> RunCrashSweep(const CrashSweepConfig& config) {
   CrashSweepReport report;
   {
     Testbed tb;
-    IPA_RETURN_NOT_OK(tb.Open(cfg.backend));
+    IPA_RETURN_NOT_OK(tb.Open(cfg.backend, cfg.codec));
     tb.dev.SetPowerLossPolicy(flash::PowerLossPolicy{});  // armed never: counts ops
     auto wr = RunTpcb(tb, cfg.accounts, cfg.txns, cfg.seed);
     IPA_RETURN_NOT_OK(wr.status());

@@ -35,6 +35,11 @@ struct CrashSweepConfig {
   /// FTL stack under test. Page-FTL backends tear GC migrations, lazy block
   /// erases and OOB reverse-map programs instead of delta appends.
   workload::Backend backend = workload::Backend::kNoFtl;
+  /// Delta-record codec for the NoFTL scheme (docs/DELTA_COMPRESSION.md):
+  /// byte codecs put multi-byte variable-length records under the injector,
+  /// so torn COMPRESSED appends hit the quarantine path. Ignored by page-FTL
+  /// backends (no delta area behind a cooked device).
+  storage::DeltaCodec codec = storage::DeltaCodec::kRaw;
 };
 
 /// Outcome of one injection point.

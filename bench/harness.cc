@@ -10,6 +10,7 @@
 #include "workload/tatp.h"
 #include "workload/tpcb.h"
 #include "workload/tpcc.h"
+#include "workload/tpch_lite.h"
 
 namespace ipa::bench {
 
@@ -19,6 +20,7 @@ const char* WlName(Wl w) {
     case Wl::kTpcc: return "TPC-C";
     case Wl::kTatp: return "TATP";
     case Wl::kLinkbench: return "LinkBench";
+    case Wl::kScanMix: return "ScanMix";
   }
   return "?";
 }
@@ -31,6 +33,7 @@ uint64_t DefaultTxns(Wl w) {
     case Wl::kTpcc: base = 6000; break;
     case Wl::kTatp: base = 30000; break;
     case Wl::kLinkbench: base = 12000; break;
+    case Wl::kScanMix: base = 8000; break;
     default: base = 10000; break;
   }
   return static_cast<uint64_t>(static_cast<double>(base) * scale);
@@ -42,6 +45,7 @@ uint32_t DefaultCpuUs(Wl w) {
     case Wl::kTpcc: return 400;  // NewOrder touches ~10 items
     case Wl::kTatp: return 40;
     case Wl::kLinkbench: return 120;
+    case Wl::kScanMix: return 250;  // analytics scans dominate CPU
   }
   return 100;
 }
@@ -78,6 +82,12 @@ std::unique_ptr<workload::Workload> MakeWorkload(
       c.seed = seed;
       return std::make_unique<workload::Linkbench>(db, c, ts_map);
     }
+    case Wl::kScanMix: {
+      workload::TpchLiteConfig c;
+      c.rows = static_cast<uint64_t>(40000 * scale);
+      c.seed = static_cast<uint32_t>(seed);
+      return std::make_unique<workload::TpchLite>(db, c, ts_map);
+    }
   }
   return nullptr;
 }
@@ -99,11 +109,20 @@ void WarnIfDebugBuild() {
 
 Result<RunResult> RunWorkload(const RunConfig& config) {
   WarnIfDebugBuild();
+  // The dataset multiplier (RunConfig field x IPA_DATASET env) grows the
+  // heap only: workload row counts scale by it, the buffer pool does not —
+  // buffer_fraction is divided back down so buffer_pages stays what the
+  // unmultiplied dataset would get. dataset > 1 therefore puts the run in
+  // the larger-than-RAM regime.
+  double dataset = config.dataset_multiplier * workload::DatasetScale();
+  if (dataset < 1.0) dataset = 1.0;
   double scale = config.scale * workload::BenchScale();
+  double data_scale = scale * dataset;
 
   // Sizing pass: a throwaway workload instance estimates the DB footprint.
-  auto sizing = MakeWorkload(config.workload, nullptr,
-                             workload::SingleTablespace(0), scale, config.seed);
+  auto sizing =
+      MakeWorkload(config.workload, nullptr, workload::SingleTablespace(0),
+                   data_scale, config.seed);
   uint64_t db_pages = sizing->EstimatedPages(config.page_size);
 
   workload::TestbedConfig tc;
@@ -112,7 +131,7 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
   tc.page_size = config.page_size;
   tc.scheme = config.scheme;
   tc.db_pages = db_pages;
-  tc.buffer_fraction = config.buffer_fraction;
+  tc.buffer_fraction = config.buffer_fraction / dataset;
   tc.record_update_sizes = config.record_update_sizes;
   tc.record_io_trace = config.record_io_trace;
   tc.over_provisioning = config.over_provisioning;
@@ -125,8 +144,8 @@ Result<RunResult> RunWorkload(const RunConfig& config) {
   if (config.workload == Wl::kTpcc) tc.growth_headroom = 5.0;
   IPA_ASSIGN_OR_RETURN(std::unique_ptr<workload::Testbed> bed, MakeTestbed(tc));
 
-  auto wl = MakeWorkload(config.workload, bed->db.get(), bed->ts_map(), scale,
-                         config.seed);
+  auto wl = MakeWorkload(config.workload, bed->db.get(), bed->ts_map(),
+                         data_scale, config.seed);
   IPA_RETURN_NOT_OK(wl->Load());
   // Settle: push the loaded database to flash so the measurement phase
   // starts from a steady on-flash state.

@@ -19,7 +19,7 @@
 
 namespace ipa::bench {
 
-enum class Wl { kTpcb, kTpcc, kTatp, kLinkbench };
+enum class Wl { kTpcb, kTpcc, kTatp, kLinkbench, kScanMix };
 
 const char* WlName(Wl w);
 
@@ -40,6 +40,11 @@ struct RunConfig {
   bool record_io_trace = false;
   /// Workload size multiplier on top of IPA_SCALE.
   double scale = 1.0;
+  /// Dataset multiplier (composes with the IPA_DATASET env var): grows the
+  /// workload's dataset WITHOUT growing the buffer pool, which stays sized
+  /// for the unmultiplied dataset. At 8.0 the heap is ~8x the buffer —
+  /// the larger-than-RAM regime (eviction/scrub/GC under memory pressure).
+  double dataset_multiplier = 1.0;
   uint64_t seed = 42;
   /// Region over-provisioning fraction (paper: 10% throughout).
   double over_provisioning = 0.10;

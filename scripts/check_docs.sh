@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Verify that every intra-repo markdown link and #anchor in the repo's
-# documentation resolves. No network access: http(s)/mailto links are
-# ignored. Scanned: *.md at the repo root and under docs/.
+# documentation resolves, and that every docs/*.md page is referenced from
+# README.md's documentation index (so new pages can't go unlinked). No
+# network access: http(s)/mailto links are ignored. Scanned: *.md at the
+# repo root and under docs/.
 #
 # Usage: scripts/check_docs.sh
-# Exit: 0 all links resolve, 1 broken links (each printed), 2 setup error.
+# Exit: 0 all checks pass, 1 broken links / unindexed pages (each printed),
+#       2 setup error.
 set -u
 cd "$(dirname "$0")/.." || exit 2
 
@@ -69,8 +72,21 @@ for f, text in contents.items():
             if frag.lower() not in anchor_cache[resolved]:
                 errors.append(f"{f}: missing anchor -> {target}")
 
+# Index coverage: every docs/*.md page must be linked from README.md (the
+# documentation index), so a new page cannot land unreferenced.
+readme_targets = set()
+for target in LINK.findall(strip_code(contents["README.md"])):
+    if re.match(r"(https?|mailto):", target):
+        continue
+    path = target.partition("#")[0]
+    if path:
+        readme_targets.add(os.path.normpath(path))
+for page in sorted(f for f in files if f.startswith("docs/")):
+    if page not in readme_targets:
+        errors.append(f"README.md: docs page not in the documentation index -> {page}")
+
 for e in errors:
     print(e)
-print(f"check_docs: {len(files)} files scanned, {len(errors)} broken links")
+print(f"check_docs: {len(files)} files scanned, {len(errors)} problems")
 sys.exit(1 if errors else 0)
 PY

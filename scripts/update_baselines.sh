@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 for bin in bench/bench_table02_ipl_vs_ipa bench/bench_table07_tpcb_emulator \
            bench/bench_table12_backend_compare bench/bench_scaleup \
-           bench/bench_serve bench/bench_replication tools/crash_sweep; do
+           bench/bench_serve bench/bench_replication \
+           bench/bench_delta_compression tools/crash_sweep; do
   if [ ! -x "$BUILD/$bin" ]; then
     echo "update_baselines: missing $BUILD/$bin (build it first)" >&2
     exit 2
@@ -41,6 +42,9 @@ echo "== bench_serve"
 echo "== bench_replication"
 "$BUILD/bench/bench_replication" \
   --metrics-json bench/baselines/bench_replication.json > /dev/null
+echo "== bench_delta_compression"
+"$BUILD/bench/bench_delta_compression" \
+  --metrics-json bench/baselines/bench_delta_compression.json > /dev/null
 echo "== crash_sweep"
 "$BUILD/tools/crash_sweep" --points 300 \
   --metrics-json bench/baselines/crash_sweep.json > /dev/null

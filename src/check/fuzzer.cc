@@ -11,6 +11,7 @@
 #include "check/invariants.h"
 #include "check/model_db.h"
 #include "common/crc32.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "engine/database.h"
 #include "engine/sharded_database.h"
@@ -29,7 +30,7 @@ namespace {
 constexpr const char* kScheduleNames[kNumSchedules] = {
     "slc",       "slc-noneager", "pslc",    "oddmlc",
     "slc-noecc", "pageftl",      "sharded", "streamftl",
-    "replication"};
+    "replication", "deltacodec"};
 
 constexpr const char* kKindNames[] = {
     "insert", "update",     "resize",     "delete", "read",      "commit",
@@ -56,6 +57,11 @@ struct Testbed {
   ftl::RegionId region = 0;
   engine::TablespaceId ts = 0;
   engine::TableId tables[2] = {0, 0};
+
+  /// kDeltaCodec only: the second region/tablespace (t1 lives there, encoded
+  /// with the OTHER byte codec than t0's).
+  ftl::RegionId region2 = 0;
+  engine::TablespaceId ts2 = 0;
 
   /// kSharded only: one shared-nothing partition per chip pair.
   struct ShardPart {
@@ -91,7 +97,10 @@ flash::Geometry GeoFor(Schedule s) {
   return g;
 }
 
-Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
+/// `seed` matters only to kDeltaCodec: its parity decides which of the two
+/// tablespaces carries kDelta vs kDeltaCompress, so both placements get
+/// fuzzed across a seed sweep while any single seed stays reproducible.
+Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s, uint64_t seed = 0) {
   flash::Geometry g = GeoFor(s);
   auto tb = std::make_unique<Testbed>(g, flash::TimingFor(g.cell_type));
 
@@ -167,9 +176,17 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   }
 
   storage::Scheme scheme{.n = 2, .m = 4, .v = 12};
+  const bool mixed = s == Schedule::kDeltaCodec;
+  if (mixed) {
+    // Mixed-codec pair: t0's tablespace gets one byte codec, t1's the other,
+    // swapped by seed parity so both placements are covered across a sweep.
+    scheme.codec = static_cast<uint8_t>((seed & 1) != 0
+                                            ? storage::DeltaCodec::kDeltaCompress
+                                            : storage::DeltaCodec::kDelta);
+  }
   ftl::RegionConfig rc;
   rc.name = ScheduleName(s);
-  rc.logical_pages = 256;
+  rc.logical_pages = mixed ? 128 : 256;  // two regions share the device
   rc.ipa_mode = s == Schedule::kPSlc     ? ftl::IpaMode::kPSlc
                 : s == Schedule::kOddMlc ? ftl::IpaMode::kOddMlc
                                          : ftl::IpaMode::kSlc;
@@ -189,6 +206,23 @@ Result<std::unique_ptr<Testbed>> MakeTestbed(Schedule s) {
   tb->db = std::make_unique<engine::Database>(&tb->noftl, ec);
   IPA_ASSIGN_OR_RETURN(tb->ts, tb->db->CreateTablespace("fuzz", tb->region, scheme));
   tb->backend = tb->noftl.region_device(tb->region);
+
+  if (mixed) {
+    storage::Scheme scheme2 = scheme;
+    scheme2.codec = static_cast<uint8_t>(
+        scheme.delta_codec() == storage::DeltaCodec::kDelta
+            ? storage::DeltaCodec::kDeltaCompress
+            : storage::DeltaCodec::kDelta);
+    ftl::RegionConfig rc2 = rc;
+    rc2.name = "deltacodec2";  // AreaBytes() is codec-independent: same offset
+    IPA_ASSIGN_OR_RETURN(tb->region2, tb->noftl.CreateRegion(rc2));
+    IPA_ASSIGN_OR_RETURN(
+        tb->ts2, tb->db->CreateTablespace("fuzz2", tb->region2, scheme2));
+    IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
+    IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts2));
+    return tb;
+  }
+
   IPA_ASSIGN_OR_RETURN(tb->tables[0], tb->db->CreateTable("t0", tb->ts));
   IPA_ASSIGN_OR_RETURN(tb->tables[1], tb->db->CreateTable("t1", tb->ts));
 
@@ -218,7 +252,7 @@ class Runner {
   explicit Runner(const FuzzConfig& cfg) : cfg_(cfg) {}
 
   FuzzResult Run(const std::vector<Op>& trace) {
-    auto tb = MakeTestbed(cfg_.schedule);
+    auto tb = MakeTestbed(cfg_.schedule, cfg_.seed);
     if (!tb.ok()) {
       return Fail(0, Status::Internal("testbed: " + tb.status().ToString()));
     }
@@ -352,28 +386,42 @@ class Runner {
 
   bool Sharded() const { return cfg_.schedule == Schedule::kSharded; }
   bool Repl() const { return cfg_.schedule == Schedule::kRepl; }
+  bool MixedCodec() const { return cfg_.schedule == Schedule::kDeltaCodec; }
+
+  static void AccumulateRegionStats(ftl::RegionStats* sum,
+                                    const ftl::RegionStats& rs) {
+    sum->host_reads += rs.host_reads;
+    sum->host_page_writes += rs.host_page_writes;
+    sum->host_delta_writes += rs.host_delta_writes;
+    sum->delta_bytes_written += rs.delta_bytes_written;
+    sum->delta_fallbacks += rs.delta_fallbacks;
+    sum->gc_page_migrations += rs.gc_page_migrations;
+    sum->gc_erases += rs.gc_erases;
+    sum->ecc_corrected_bits += rs.ecc_corrected_bits;
+    sum->ecc_uncorrectable += rs.ecc_uncorrectable;
+    sum->torn_delta_bytes_dropped += rs.torn_delta_bytes_dropped;
+    sum->torn_pages_quarantined += rs.torn_pages_quarantined;
+    sum->scrub_refreshes += rs.scrub_refreshes;
+    sum->wear_level_migrations += rs.wear_level_migrations;
+    sum->wear_level_swaps += rs.wear_level_swaps;
+  }
 
   /// kSharded: one device serves both partitions' regions, so the
   /// conservation oracle compares device counters against the per-layer sums.
   ftl::RegionStats SumRegionStats() const {
     ftl::RegionStats sum;
     for (const auto& part : tb_->parts) {
-      const ftl::RegionStats& rs = tb_->noftl.region_stats(part.region);
-      sum.host_reads += rs.host_reads;
-      sum.host_page_writes += rs.host_page_writes;
-      sum.host_delta_writes += rs.host_delta_writes;
-      sum.delta_bytes_written += rs.delta_bytes_written;
-      sum.delta_fallbacks += rs.delta_fallbacks;
-      sum.gc_page_migrations += rs.gc_page_migrations;
-      sum.gc_erases += rs.gc_erases;
-      sum.ecc_corrected_bits += rs.ecc_corrected_bits;
-      sum.ecc_uncorrectable += rs.ecc_uncorrectable;
-      sum.torn_delta_bytes_dropped += rs.torn_delta_bytes_dropped;
-      sum.torn_pages_quarantined += rs.torn_pages_quarantined;
-      sum.scrub_refreshes += rs.scrub_refreshes;
-      sum.wear_level_migrations += rs.wear_level_migrations;
-      sum.wear_level_swaps += rs.wear_level_swaps;
+      AccumulateRegionStats(&sum, tb_->noftl.region_stats(part.region));
     }
+    return sum;
+  }
+
+  /// kDeltaCodec: both mixed-codec regions share the device, so the oracles
+  /// compare device counters against the two-region sum.
+  ftl::RegionStats SumCodecRegionStats() const {
+    ftl::RegionStats sum;
+    AccumulateRegionStats(&sum, tb_->noftl.region_stats(tb_->region));
+    AccumulateRegionStats(&sum, tb_->noftl.region_stats(tb_->region2));
     return sum;
   }
 
@@ -399,7 +447,25 @@ class Runner {
   /// Backend stats for reporting/fingerprinting: the single region's, or the
   /// per-partition sum under kSharded.
   ftl::RegionStats BackendStats() const {
-    return Sharded() ? SumRegionStats() : tb_->backend->stats();
+    if (Sharded()) return SumRegionStats();
+    if (MixedCodec()) return SumCodecRegionStats();
+    return tb_->backend->stats();
+  }
+
+  /// Satellite of the torn-record handling (docs/DELTA_COMPRESSION.md):
+  /// every torn byte-codec record the read path rejects quarantines exactly
+  /// one tail, so the two process-wide counters must stay equal forever.
+  Status CheckTornCounterConservation() const {
+    metrics::Snapshot snap = metrics::Registry::Instance().TakeSnapshot();
+    uint64_t rejected = snap.Counter("storage.delta.rejected_torn");
+    uint64_t quarantined = snap.Counter("storage.delta.quarantined_tails");
+    if (rejected != quarantined) {
+      return Status::Corruption(
+          "torn-counter conservation: rejected_torn=" +
+          std::to_string(rejected) + " != quarantined_tails=" +
+          std::to_string(quarantined));
+    }
+    return Status::OK();
   }
 
   /// Cheap per-op oracles.
@@ -419,6 +485,10 @@ class Runner {
     if (Sharded()) {
       return CheckCounterConservation(tb_->dev.stats(), SumRegionStats(),
                                       SumBufferStats());
+    }
+    if (MixedCodec()) {
+      return CheckCounterConservation(tb_->dev.stats(), SumCodecRegionStats(),
+                                      tb_->db->buffer_pool().stats());
     }
     if (Repl()) {
       if (!tb_->replica->dev.powered_on()) {
@@ -454,6 +524,17 @@ class Runner {
       }
       return shadow_.ObserveAndCheck(tb_->dev);
     }
+    if (MixedCodec()) {
+      // Both regions audit independently: the strict scan in AuditDeltaArea
+      // decodes every byte-codec record, so a torn compressed record that
+      // slipped past quarantine fails loudly here.
+      for (ftl::RegionId r : {tb_->region, tb_->region2}) {
+        IPA_RETURN_NOT_OK(tb_->noftl.region_device(r)->Audit());
+        IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, r));
+      }
+      IPA_RETURN_NOT_OK(CheckTornCounterConservation());
+      return shadow_.ObserveAndCheck(tb_->dev);
+    }
     IPA_RETURN_NOT_OK(tb_->backend->Audit());
     if (cfg_.schedule != Schedule::kPageFtl &&
         cfg_.schedule != Schedule::kStreamFtl) {
@@ -461,6 +542,7 @@ class Runner {
       // every page body is an opaque host image.
       IPA_RETURN_NOT_OK(AuditMappedDeltaAreas(tb_->dev, tb_->noftl, tb_->region));
     }
+    IPA_RETURN_NOT_OK(CheckTornCounterConservation());
     IPA_RETURN_NOT_OK(shadow_.ObserveAndCheck(tb_->dev));
     if (Repl()) return ReplicaDeepCheck();
     return Status::OK();
@@ -732,6 +814,12 @@ class Runner {
         "replica convergence: phantom tuples on the replica");
   }
 
+  /// Maintenance-op region selection: kDeltaCodec alternates between the two
+  /// mixed-codec regions by the op's `b` draw; everyone else has one region.
+  ftl::RegionId MaintRegion(uint64_t draw) const {
+    return MixedCodec() && draw % 2 == 1 ? tb_->region2 : tb_->region;
+  }
+
   Status Execute(const Op& op) {
     if (Sharded()) return ExecuteSharded(op);
     switch (op.kind) {
@@ -859,7 +947,7 @@ class Runner {
                        ? tb_->pageftl->CollectOnce()
                    : cfg_.schedule == Schedule::kStreamFtl
                        ? tb_->streamftl->CollectOnce()
-                       : tb_->noftl.ScrubRegion(tb_->region, op.a % 4 == 0);
+                       : tb_->noftl.ScrubRegion(MaintRegion(op.b), op.a % 4 == 0);
         if (s.IsOutOfSpace()) return Status::OK();
         return s;
       }
@@ -869,7 +957,7 @@ class Runner {
           return Status::OK();  // cooked FTLs wear-level internally via GC
         }
         uint32_t spread = 2 + static_cast<uint32_t>(op.a % 6);
-        Status s = tb_->noftl.WearLevelRegion(tb_->region, spread);
+        Status s = tb_->noftl.WearLevelRegion(MaintRegion(op.b), spread);
         if (s.IsOutOfSpace()) return Status::OK();
         return s;
       }

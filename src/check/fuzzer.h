@@ -55,8 +55,16 @@ enum class Schedule : uint8_t {
                  ///< recovery), chain gaps heal via snapshot catch-up, and
                  ///< kReplSync drains the stream and demands byte-identical
                  ///< logical convergence with the model's committed view.
+  kDeltaCodec,   ///< Mixed-codec delta areas (docs/DELTA_COMPRESSION.md):
+                 ///< ONE engine over TWO NoFTL regions/tablespaces, t0 in
+                 ///< one codec and t1 in the other (kDelta vs
+                 ///< kDeltaCompress, swapped by seed parity), managed ECC,
+                 ///< power cuts on — torn compressed records must
+                 ///< quarantine, never decode as garbage. Scrub/wear-level
+                 ///< ops alternate regions; oracles sum both regions and
+                 ///< deep-audit each delta area.
 };
-constexpr int kNumSchedules = 9;
+constexpr int kNumSchedules = 10;
 
 const char* ScheduleName(Schedule s);
 bool ParseSchedule(const std::string& name, Schedule* out);

@@ -25,8 +25,21 @@ double EstimateIpaFraction(double p, uint32_t n) {
   return appends / (appends + 1.0);
 }
 
+double EstimateEffectiveAppends(const storage::Scheme& scheme,
+                                storage::DeltaCodec codec,
+                                double typical_change_bytes) {
+  double n = scheme.n;
+  if (codec == storage::DeltaCodec::kRaw || !scheme.enabled()) return n;
+  double per_change =
+      codec == storage::DeltaCodec::kDeltaCompress ? 1.4 : 2.0;
+  double record = 5.0 + per_change * std::max(typical_change_bytes, 1.0);
+  double fits = static_cast<double>(scheme.AreaBytes()) / record;
+  return std::max(fits, n);
+}
+
 Advice Recommend(const ObjectProfile& profile, flash::CellType cell,
-                 uint32_t page_size, AdvisorGoal goal) {
+                 uint32_t page_size, AdvisorGoal goal,
+                 storage::DeltaCodec codec) {
   Advice advice;
   const SampleDistribution& net = profile.net_update_sizes;
   const SampleDistribution& meta = profile.meta_update_sizes;
@@ -82,8 +95,15 @@ Advice Recommend(const ObjectProfile& profile, flash::CellType cell,
   }
 
   double p_fit = net.CdfAt(s.m);
+  s.codec = static_cast<uint8_t>(codec);
+  // Byte codecs pack more appends into the same reserved area; fold the
+  // effective append count (floored, conservatively) into the renewal model
+  // in place of the raw slot count N.
+  double typical = net.ValueAtPercentile(50.0);
+  uint32_t eff_n = static_cast<uint32_t>(
+      EstimateEffectiveAppends(s, codec, typical));
   advice.scheme = s;
-  advice.expected_ipa_fraction = EstimateIpaFraction(p_fit, s.n);
+  advice.expected_ipa_fraction = EstimateIpaFraction(p_fit, eff_n);
   advice.space_overhead = s.SpaceOverhead(page_size);
 
   std::ostringstream os;
@@ -92,7 +112,9 @@ Advice Recommend(const ObjectProfile& profile, flash::CellType cell,
      << "B -> M=" << static_cast<int>(s.m) << "; "
      << flash::CellTypeName(cell) << " flash bounds N<=" << n_max << " -> N="
      << static_cast<int>(s.n) << "; V=" << static_cast<int>(s.v)
-     << " covers p95 of metadata changes; expected IPA share "
+     << " covers p95 of metadata changes; codec "
+     << storage::DeltaCodecName(codec) << " sustains ~" << eff_n
+     << " appends per area; expected IPA share "
      << static_cast<int>(100 * advice.expected_ipa_fraction) << "% at "
      << static_cast<int>(1000 * advice.space_overhead) / 10.0
      << "% space overhead";

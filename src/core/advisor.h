@@ -53,9 +53,23 @@ struct Advice {
 /// A = sum_{j=1..n} p^j appends and one out-of-place write.
 double EstimateIpaFraction(double p, uint32_t n);
 
+/// Estimated number of appends the reserved area sustains under `codec`
+/// before a write-back, for a scheme sized at [NxM(xV)] and an object whose
+/// typical flush changes `typical_change_bytes` bytes. Raw: exactly N. Byte
+/// codecs: area bytes / expected record size (5-byte header + ~2 bytes per
+/// changed byte for kDelta, ~1.4 for kDeltaCompress), at least N — packing
+/// never does worse than the fixed slots it replaces.
+double EstimateEffectiveAppends(const storage::Scheme& scheme,
+                                storage::DeltaCodec codec,
+                                double typical_change_bytes);
+
 /// Recommend a scheme for one object. `cell` bounds N (MLC tolerates fewer
-/// reprograms than SLC); `page_size` bounds the delta-area share.
+/// reprograms than SLC); `page_size` bounds the delta-area share. `codec`
+/// scales the expected-appends accounting: byte codecs fit more appends in
+/// the same reserved area, raising the expected IPA share at an unchanged
+/// space overhead. The recommended scheme carries the codec.
 Advice Recommend(const ObjectProfile& profile, flash::CellType cell,
-                 uint32_t page_size, AdvisorGoal goal);
+                 uint32_t page_size, AdvisorGoal goal,
+                 storage::DeltaCodec codec = storage::DeltaCodec::kRaw);
 
 }  // namespace ipa::core

@@ -35,7 +35,12 @@ EvictionDecision PlanEviction(const uint8_t* base, uint8_t* cur,
     body_cap = meta_cap = page_size;
   } else if (scheme.enabled() && flash_copy_exists && device_appends_allowed) {
     body_cap = storage::DeltaBudgetRemaining(cur, page_size) + 1;
-    meta_cap = scheme.v + 1u;
+    // Raw codec: metadata pairs have their own V slots. Byte codecs pack
+    // body and meta changes into one shared budget, so meta gets the same
+    // cap (EncodeDeltaRecords does the exact combined fit check).
+    meta_cap = scheme.delta_codec() == storage::DeltaCodec::kRaw
+                   ? scheme.v + 1u
+                   : body_cap;
   } else {
     // The decision is forced to out-of-place; a one-byte diff proves "dirty".
     body_cap = meta_cap = 1;

@@ -23,16 +23,21 @@ DbCounters& Dm() {
   return counters;
 }
 
-/// Pack the info needed to redo a page format into aux64.
+/// Pack the info needed to redo a page format into aux64. Bits 56-63 carry
+/// the delta codec so WAL redo re-formats pages with the tablespace's
+/// negotiated codec; pre-codec logs have 0 there, which is DeltaCodec::kRaw.
 uint64_t PackFormatAux(TableId table, storage::Scheme s) {
   return static_cast<uint64_t>(table) | (static_cast<uint64_t>(s.n) << 32) |
-         (static_cast<uint64_t>(s.m) << 40) | (static_cast<uint64_t>(s.v) << 48);
+         (static_cast<uint64_t>(s.m) << 40) |
+         (static_cast<uint64_t>(s.v) << 48) |
+         (static_cast<uint64_t>(s.codec) << 56);
 }
 void UnpackFormatAux(uint64_t aux, TableId* table, storage::Scheme* s) {
   *table = static_cast<TableId>(aux & 0xFFFFFFFFu);
   s->n = static_cast<uint8_t>(aux >> 32);
   s->m = static_cast<uint8_t>(aux >> 40);
   s->v = static_cast<uint8_t>(aux >> 48);
+  s->codec = static_cast<uint8_t>(aux >> 56);
 }
 
 /// CLR action tags (first byte of a CLR's `before` field).

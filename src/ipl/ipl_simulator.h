@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "engine/types.h"
+#include "storage/page_format.h"
 
 namespace ipa::ipl {
 
@@ -41,7 +42,17 @@ struct IplConfig {
   uint32_t log_sector_bytes = 512;      // in-memory, per logical page
   /// Per-entry header bytes added to every update's log record.
   uint32_t log_entry_header = 4;
+  /// Log-record packing, mirroring the IPA side's DeltaCodec so the
+  /// IPL-vs-IPA comparison stays apples-to-apples when the IPA path
+  /// delta-encodes or compresses its records: kRaw keeps the original
+  /// fixed (header + data) entries; kDelta switches the addressing header
+  /// to varints; kDeltaCompress additionally models the LZ pass over the
+  /// data payload. Default kRaw reproduces the paper's numbers unchanged.
+  storage::DeltaCodec log_codec = storage::DeltaCodec::kRaw;
 };
+
+/// Size one update's log entry under `config`'s codec (see log_codec).
+uint32_t EncodedLogEntryBytes(uint32_t update_bytes, const IplConfig& config);
 
 struct IplStats {
   uint64_t page_fetches = 0;

@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "storage/delta_codec.h"
 
 namespace ipa::repl {
 
@@ -11,6 +12,13 @@ namespace {
 
 constexpr uint32_t kMagic = 0x46525049;  // "IPRF" little-endian
 constexpr size_t kHeaderBytes = 12;      // magic + payload_len + crc
+
+/// Op-kind flag bit: the op's bytes field is LZ-compressed on the wire as
+/// [u32 raw_len][LZ data] (storage::LzCompress — the same deterministic pass
+/// the delta+compress page codec uses). Senders set it per op, and only when
+/// compression actually shrinks the bytes; receivers always accept both
+/// forms, so compressing and plain peers interoperate.
+constexpr uint8_t kOpCompressed = 0x80;
 
 void Put8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
 void Put16(std::vector<uint8_t>& out, uint16_t v) {
@@ -65,7 +73,7 @@ struct Cursor {
 
 }  // namespace
 
-std::vector<uint8_t> EncodeFrame(const Frame& f) {
+std::vector<uint8_t> EncodeFrame(const Frame& f, bool compress_wire) {
   std::vector<uint8_t> payload;
   Put8(payload, static_cast<uint8_t>(f.kind));
   Put32(payload, f.writer);
@@ -78,15 +86,28 @@ std::vector<uint8_t> EncodeFrame(const Frame& f) {
   }
   Put32(payload, static_cast<uint32_t>(f.ops.size()));
   for (const ChangeOp& op : f.ops) {
-    Put8(payload, static_cast<uint8_t>(op.kind));
+    std::vector<uint8_t> lz;
+    bool compressed = false;
+    if (compress_wire && op.bytes.size() > 8) {
+      lz = storage::LzCompress(op.bytes.data(), op.bytes.size());
+      compressed = lz.size() + 4 < op.bytes.size();
+    }
+    Put8(payload, static_cast<uint8_t>(op.kind) |
+                      (compressed ? kOpCompressed : 0));
     Put32(payload, op.origin);
     Put64(payload, op.rid);
     Put32(payload, op.table);
     Put16(payload, op.offset);
     Put64(payload, op.version);
     Put32(payload, op.vwriter);
-    Put32(payload, static_cast<uint32_t>(op.bytes.size()));
-    payload.insert(payload.end(), op.bytes.begin(), op.bytes.end());
+    if (compressed) {
+      Put32(payload, static_cast<uint32_t>(lz.size() + 4));
+      Put32(payload, static_cast<uint32_t>(op.bytes.size()));
+      payload.insert(payload.end(), lz.begin(), lz.end());
+    } else {
+      Put32(payload, static_cast<uint32_t>(op.bytes.size()));
+      payload.insert(payload.end(), op.bytes.begin(), op.bytes.end());
+    }
   }
 
   std::vector<uint8_t> wire(kHeaderBytes);
@@ -142,6 +163,8 @@ Result<Frame> DecodeFrame(std::span<const uint8_t> wire) {
   for (uint32_t i = 0; i < op_count; i++) {
     ChangeOp op;
     uint8_t op_kind = c.U8();
+    bool compressed = (op_kind & kOpCompressed) != 0;
+    op_kind &= static_cast<uint8_t>(~kOpCompressed);
     if (op_kind < static_cast<uint8_t>(ChangeKind::kDelta) ||
         op_kind > static_cast<uint8_t>(ChangeKind::kDelete)) {
       return Status::Corruption("repl op kind out of range");
@@ -158,7 +181,19 @@ Result<Frame> DecodeFrame(std::span<const uint8_t> wire) {
     if (!c.Take(blen, &at)) {
       return Status::Corruption("repl op bytes overrun payload");
     }
-    op.bytes.assign(at, at + blen);
+    if (compressed) {
+      if (blen < 4) {
+        return Status::Corruption("repl compressed op shorter than raw_len");
+      }
+      uint32_t raw_len = DecodeU32(at);
+      op.bytes.reserve(raw_len);
+      if (!storage::LzDecompress(at + 4, blen - 4, raw_len, op.bytes) ||
+          op.bytes.size() != raw_len) {
+        return Status::Corruption("repl compressed op fails to decompress");
+      }
+    } else {
+      op.bytes.assign(at, at + blen);
+    }
     f.ops.push_back(std::move(op));
   }
   if (!c.ok || c.left != 0) {

@@ -97,12 +97,17 @@ struct Frame {
 };
 
 /// Encode with the self-delimiting CRC frame header
-/// [magic u32 | payload_len u32 | crc32c u32 | payload].
-std::vector<uint8_t> EncodeFrame(const Frame& f);
+/// [magic u32 | payload_len u32 | crc32c u32 | payload]. With
+/// `compress_wire`, each op's bytes ship LZ-compressed (flag bit on the
+/// op-kind byte, then [u32 raw_len][LZ data]) whenever that is smaller —
+/// the same deterministic pass as the delta+compress page codec. Decoders
+/// accept both forms regardless of the sender's setting.
+std::vector<uint8_t> EncodeFrame(const Frame& f, bool compress_wire = false);
 
 /// Decode and verify one frame. Returns Corruption for anything torn: short
 /// buffer, bad magic, length mismatch, CRC mismatch, or a payload that does
-/// not parse exactly.
+/// not parse exactly (including compressed op bytes that fail to
+/// decompress to their declared length).
 Result<Frame> DecodeFrame(std::span<const uint8_t> wire);
 
 }  // namespace ipa::repl

@@ -201,7 +201,7 @@ void ReplNode::OnCommit(const engine::Database::CommitEvent& ev) {
   }
 
   last_emitted_ = ev.commit_lsn;
-  std::vector<uint8_t> wire = EncodeFrame(f);
+  std::vector<uint8_t> wire = EncodeFrame(f, cfg_.compress_wire);
   stats_.frames_emitted++;
   stats_.bytes_emitted += wire.size();
   Rm().ship_frames.Inc();
@@ -217,7 +217,7 @@ void ReplNode::OnAbort(engine::TxnId /*txn*/, engine::Lsn abort_lsn) {
   f.lsn = abort_lsn;
   f.prev_lsn = last_emitted_;
   last_emitted_ = abort_lsn;
-  std::vector<uint8_t> wire = EncodeFrame(f);
+  std::vector<uint8_t> wire = EncodeFrame(f, cfg_.compress_wire);
   stats_.frames_emitted++;
   stats_.abort_marks++;
   stats_.bytes_emitted += wire.size();
@@ -280,7 +280,7 @@ Result<std::vector<std::vector<uint8_t>>> ReplNode::BuildSnapshot() {
           }
           op.bytes.assign(bytes.begin(), bytes.end());
           item.ops.push_back(std::move(op));
-          out.push_back(EncodeFrame(item));
+          out.push_back(EncodeFrame(item, cfg_.compress_wire));
           stats_.snapshot_items++;
           Rm().snapshot_items.Inc();
           return true;

@@ -48,6 +48,11 @@ struct ReplConfig {
   /// against a tuple another writer deleted. Single-writer streams keep the
   /// compact delta encoding.
   bool full_images = false;
+  /// LZ-compress op bytes on the wire (changeset.h). Off by default: the
+  /// replication fuzz fingerprints and bench baselines are byte-exact over
+  /// the uncompressed stream; bench_delta_compression measures the
+  /// compressed one. Receivers accept either form regardless.
+  bool compress_wire = false;
 };
 
 /// Per-instance counters (process-global metrics mirror these under repl.*).

@@ -1,0 +1,144 @@
+#include "storage/delta_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "storage/page_format.h"
+
+namespace ipa::storage {
+
+const char* DeltaCodecName(DeltaCodec codec) {
+  switch (codec) {
+    case DeltaCodec::kRaw:
+      return "raw";
+    case DeltaCodec::kDelta:
+      return "delta";
+    case DeltaCodec::kDeltaCompress:
+      return "delta+compress";
+  }
+  return "unknown";
+}
+
+bool ParseDeltaCodec(const char* name, DeltaCodec* out) {
+  if (std::strcmp(name, "raw") == 0) {
+    *out = DeltaCodec::kRaw;
+  } else if (std::strcmp(name, "delta") == 0) {
+    *out = DeltaCodec::kDelta;
+  } else if (std::strcmp(name, "delta+compress") == 0 ||
+             std::strcmp(name, "deltacompress") == 0 ||
+             std::strcmp(name, "compress") == 0) {
+    *out = DeltaCodec::kDeltaCompress;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PutVarint(std::vector<uint8_t>& out, uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t* data, uint32_t len, uint32_t* pos, uint32_t* v) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift < 35; shift += 7) {
+    if (*pos >= len) return false;
+    uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // > 5 bytes: malformed
+}
+
+uint16_t Crc16(const uint8_t* data, size_t len) {
+  return static_cast<uint16_t>(Crc32c(data, len) & 0xFFFF);
+}
+
+namespace {
+constexpr uint32_t kMinMatch = 3;
+constexpr uint32_t kMaxMatch = 130;  // token - 0x80 + 3 with token <= 0xFF
+constexpr uint32_t kMaxLiteralRun = 128;
+constexpr uint32_t kWindow = 1024;  // page-sized inputs; linear-cost search
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t len) {
+  std::vector<uint8_t> out;
+  out.reserve(len / 2 + 8);
+  std::vector<uint8_t> literals;
+  literals.reserve(64);
+
+  auto flush_literals = [&] {
+    size_t i = 0;
+    while (i < literals.size()) {
+      uint32_t run = static_cast<uint32_t>(
+          std::min<size_t>(literals.size() - i, kMaxLiteralRun));
+      out.push_back(static_cast<uint8_t>(run - 1));
+      out.insert(out.end(), literals.begin() + i, literals.begin() + i + run);
+      i += run;
+    }
+    literals.clear();
+  };
+
+  size_t pos = 0;
+  while (pos < len) {
+    uint32_t best_len = 0;
+    uint32_t best_dist = 0;
+    size_t window_begin = pos > kWindow ? pos - kWindow : 0;
+    for (size_t cand = window_begin; cand < pos; cand++) {
+      uint32_t match = 0;
+      uint32_t cap = static_cast<uint32_t>(
+          std::min<size_t>(len - pos, kMaxMatch));
+      while (match < cap && data[cand + match] == data[pos + match]) match++;
+      if (match > best_len) {
+        best_len = match;
+        best_dist = static_cast<uint32_t>(pos - cand);
+        if (match == cap) break;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals();
+      out.push_back(static_cast<uint8_t>(0x80 + (best_len - kMinMatch)));
+      PutVarint(out, best_dist);
+      pos += best_len;
+    } else {
+      literals.push_back(data[pos++]);
+    }
+  }
+  flush_literals();
+  return out;
+}
+
+bool LzDecompress(const uint8_t* data, uint32_t len, uint32_t max_out,
+                  std::vector<uint8_t>& out) {
+  uint32_t pos = 0;
+  while (pos < len) {
+    uint8_t token = data[pos++];
+    if (token < 0x80) {
+      uint32_t run = static_cast<uint32_t>(token) + 1;
+      if (pos + run > len) return false;
+      if (out.size() + run > max_out) return false;
+      out.insert(out.end(), data + pos, data + pos + run);
+      pos += run;
+    } else {
+      uint32_t match = static_cast<uint32_t>(token - 0x80) + kMinMatch;
+      uint32_t dist = 0;
+      if (!GetVarint(data, len, &pos, &dist)) return false;
+      if (dist == 0 || dist > out.size()) return false;
+      if (out.size() + match > max_out) return false;
+      // Byte-at-a-time copy: overlapping matches (dist < match) replicate
+      // the most recent bytes, RLE-style.
+      size_t src = out.size() - dist;
+      for (uint32_t i = 0; i < match; i++) out.push_back(out[src + i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace ipa::storage

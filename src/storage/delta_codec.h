@@ -1,0 +1,50 @@
+// Shared primitives for the byte-oriented delta-record codecs
+// (docs/DELTA_COMPRESSION.md): LEB128 varints, a 16-bit payload checksum and
+// a small deterministic LZ pass. No external dependencies, no heap churn on
+// the hot path beyond the caller-provided vectors, and bit-for-bit
+// deterministic output for a given input — the fuzzer fingerprints depend on
+// it. The same helpers back the replication wire compression
+// (src/repl/changeset.cc), so frames and pages share one format.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipa::storage {
+
+/// Append `v` to `out` as a LEB128 varint (7 bits per byte, high bit =
+/// continuation). Values < 128 cost one byte — the common case for
+/// offset gaps within a page.
+void PutVarint(std::vector<uint8_t>& out, uint32_t v);
+
+/// Decode a varint at data[*pos]; advances *pos. Returns false on truncation
+/// or a varint longer than 5 bytes (fail closed — torn records must never
+/// decode as garbage).
+bool GetVarint(const uint8_t* data, uint32_t len, uint32_t* pos, uint32_t* v);
+
+/// 16-bit payload checksum: the low half of CRC32C. Used by the byte-codec
+/// record header; 16 bits keep the per-record overhead at 5 bytes while the
+/// structural decode check catches what a truncated CRC might miss.
+uint16_t Crc16(const uint8_t* data, size_t len);
+
+/// Deterministic greedy LZ compressor (token stream):
+///   token 0x00..0x7F: literal run of (token + 1) bytes follows;
+///   token 0x80..0xFF: match of length (token - 0x80 + 3), followed by a
+///                     varint distance (>= 1) back into the output produced
+///                     so far.
+/// Matches are at least 3 and at most 130 bytes; the search window is
+/// bounded so compression cost stays linear for page-sized inputs. Returns
+/// the compressed bytes; output may be larger than the input (callers keep
+/// the raw form when that happens).
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t len);
+
+/// Inverse of LzCompress. Appends to `out`; every read and copy is bounds
+/// checked and output is capped at `max_out` bytes. Returns false on any
+/// malformed token, truncated run, bad distance or cap overflow — torn
+/// compressed records fail closed.
+bool LzDecompress(const uint8_t* data, uint32_t len, uint32_t max_out,
+                  std::vector<uint8_t>& out);
+
+}  // namespace ipa::storage

@@ -1,11 +1,13 @@
 #include "storage/delta_record.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "common/bytes.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "storage/delta_codec.h"
 #include "storage/slotted_page.h"
 
 namespace ipa::storage {
@@ -21,6 +23,23 @@ namespace {
 metrics::Counter& RejectedTorn() {
   static metrics::Counter c{"storage.delta.rejected_torn"};
   return c;
+}
+
+/// Delta-area tails quarantined because of a torn record: once a scan
+/// rejects a record, everything from it to the end of the area is treated as
+/// never written. Incremented in lockstep with RejectedTorn() — one rejected
+/// record quarantines exactly one tail — and the fuzzer's conservation
+/// oracle asserts the two counters stay equal.
+metrics::Counter& QuarantinedTails() {
+  static metrics::Counter c{"storage.delta.quarantined_tails"};
+  return c;
+}
+
+/// Single choke point for torn-record rejection so the two counters above
+/// cannot drift apart.
+void NoteTornRejected() {
+  RejectedTorn().Inc();
+  QuarantinedTails().Inc();
 }
 
 struct AreaView {
@@ -59,6 +78,113 @@ bool ValidRecord(const uint8_t* rec, const AreaView& v) {
   return RecordWellFormed(rec, v.delta_off, v.scheme);
 }
 
+// ---------------------------------------------------------------------------
+// Byte codecs (kDelta, kDeltaCompress).
+
+/// Decode a kDelta payload (varint offset-gaps + absolute values, strictly
+/// ascending, fully consumed) into `out` (when non-null). Fails closed on
+/// any structural violation.
+bool DecodeGapPayload(const uint8_t* data, uint32_t len, uint32_t delta_off,
+                      std::vector<ByteChange>* out) {
+  uint32_t pos = 0;
+  uint32_t next_min = 0;  // first offset = gap; later: prev + 1 + gap
+  bool first = true;
+  if (len == 0) return false;
+  while (pos < len) {
+    uint32_t gap = 0;
+    if (!GetVarint(data, len, &pos, &gap)) return false;
+    if (pos >= len) return false;  // value byte missing
+    uint8_t value = data[pos++];
+    uint64_t offset = static_cast<uint64_t>(next_min) + gap;
+    if (offset >= delta_off) return false;
+    if (out != nullptr) {
+      out->push_back(ByteChange{static_cast<uint16_t>(offset), value});
+    }
+    next_min = static_cast<uint32_t>(offset) + 1;
+    first = false;
+  }
+  return !first;
+}
+
+/// Decode the payload of a byte-codec record into `out` (when non-null),
+/// handling the kDeltaCompress method byte. `scratch` holds decompressed
+/// bytes so the caller controls allocation.
+bool DecodeBytePayload(const uint8_t* payload, uint32_t len, const AreaView& v,
+                       std::vector<ByteChange>* out,
+                       std::vector<uint8_t>& scratch) {
+  if (v.scheme.delta_codec() == DeltaCodec::kDelta) {
+    return DecodeGapPayload(payload, len, v.delta_off, out);
+  }
+  if (len < 2) return false;  // method byte + at least one payload byte
+  uint8_t method = payload[0];
+  if (method == 0) {  // stored
+    return DecodeGapPayload(payload + 1, len - 1, v.delta_off, out);
+  }
+  if (method != 1) return false;
+  scratch.clear();
+  // Each change costs >= 2 payload bytes and covers an offset < delta_off,
+  // so a well-formed decompressed payload can never exceed 4 bytes/change.
+  uint32_t max_out = 4u * v.delta_off;
+  if (!LzDecompress(payload + 1, len - 1, max_out, scratch)) return false;
+  return DecodeGapPayload(scratch.data(), static_cast<uint32_t>(scratch.size()),
+                          v.delta_off, out);
+}
+
+/// Full validation of the byte-codec record at page offset `pos`:
+/// header bounds, ctrl byte, payload checksum, structural decode. On success
+/// sets *rec_len to the total record length (header + payload). Under
+/// kSkipDeltaRecordValidation the checksum and decode checks are skipped
+/// (the differential checker's deliberate bug); the header bounds are not —
+/// they keep the scan itself memory-safe.
+bool ValidByteRecord(const uint8_t* page, uint32_t page_size, uint32_t pos,
+                     const AreaView& v, bool strict, uint32_t* rec_len,
+                     std::vector<uint8_t>& scratch) {
+  if (pos + kByteRecordHeader > page_size) return false;
+  const uint8_t* rec = page + pos;
+  uint16_t len = DecodeU16(rec + 1);
+  if (len == 0 || pos + kByteRecordHeader + len > page_size) return false;
+  *rec_len = kByteRecordHeader + len;
+  if (!strict && fault::Enabled(fault::Point::kSkipDeltaRecordValidation)) {
+    return rec[0] != 0xFF;
+  }
+  if (rec[0] != kCtrlPresent) return false;
+  if (DecodeU16(rec + 3) != Crc16(rec + kByteRecordHeader, len)) return false;
+  return DecodeBytePayload(rec + kByteRecordHeader, len, v, nullptr, scratch);
+}
+
+struct ByteScan {
+  uint32_t count = 0;  ///< Valid records in the prefix.
+  uint32_t end = 0;    ///< Page offset one past the last valid record.
+  bool torn = false;   ///< Scan stopped at a programmed-but-invalid record.
+};
+
+/// Walk the byte-codec records from delta_off: a contiguous prefix of valid
+/// records, terminated by an erased ctrl byte (clean end) or anything
+/// invalid (torn tail). `strict` bypasses the fault-injection override —
+/// the audit oracle must keep rejecting what the (deliberately) broken read
+/// path lets through.
+ByteScan ScanByteRecords(const uint8_t* page, uint32_t page_size,
+                         const AreaView& v, bool strict = false) {
+  ByteScan scan;
+  scan.end = v.delta_off;
+  std::vector<uint8_t> scratch;
+  while (scan.end < page_size && page[scan.end] != 0xFF) {
+    uint32_t rec_len = 0;
+    if (!ValidByteRecord(page, page_size, scan.end, v, strict, &rec_len,
+                         scratch)) {
+      scan.torn = true;
+      break;
+    }
+    scan.end += rec_len;
+    scan.count++;
+  }
+  return scan;
+}
+
+bool IsByteCodec(const AreaView& v) {
+  return v.scheme.delta_codec() != DeltaCodec::kRaw;
+}
+
 }  // namespace
 
 bool RecordWellFormed(const uint8_t* rec, uint32_t delta_off, Scheme scheme) {
@@ -80,6 +206,22 @@ bool RecordWellFormed(const uint8_t* rec, uint32_t delta_off, Scheme scheme) {
 
 Status AuditDeltaArea(const uint8_t* page, uint32_t page_size) {
   AreaView v = ViewOf(page, page_size);
+  if (v.scheme.enabled() && IsByteCodec(v)) {
+    ByteScan scan = ScanByteRecords(page, page_size, v, /*strict=*/true);
+    if (scan.torn) {
+      return Status::Corruption("byte-codec delta record " +
+                                std::to_string(scan.count) +
+                                " is torn or malformed");
+    }
+    for (uint32_t i = scan.end; i < page_size; i++) {
+      if (page[i] != 0xFF) {
+        return Status::Corruption(
+            "non-erased byte at page offset " + std::to_string(i) +
+            " past byte-codec delta record " + std::to_string(scan.count));
+      }
+    }
+    return Status::OK();
+  }
   uint32_t present = 0;
   if (v.scheme.enabled()) {
     for (; present < v.scheme.n; present++) {
@@ -110,13 +252,18 @@ Status AuditDeltaArea(const uint8_t* page, uint32_t page_size) {
 uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
   AreaView v = ViewOf(page, page_size);
   if (!v.scheme.enabled()) return 0;
+  if (IsByteCodec(v)) {
+    ByteScan scan = ScanByteRecords(page, page_size, v);
+    if (scan.torn) NoteTornRejected();
+    return scan.count;
+  }
   uint32_t count = 0;
   for (uint32_t r = 0; r < v.scheme.n; r++) {
     uint32_t base = v.delta_off + r * v.record_bytes;
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;  // erased ctrl byte: no further records
     if (!ValidRecord(page + base, v)) {  // torn record: never written
-      RejectedTorn().Inc();
+      NoteTornRejected();
       break;
     }
     count++;
@@ -127,6 +274,31 @@ uint32_t CountDeltaRecords(const uint8_t* page, uint32_t page_size) {
 uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
   AreaView v = ViewOf(page, page_size);
   if (!v.scheme.enabled()) return 0;
+  if (IsByteCodec(v)) {
+    uint32_t applied = 0;
+    uint32_t pos = v.delta_off;
+    std::vector<uint8_t> scratch;
+    std::vector<ByteChange> changes;
+    while (pos < page_size && page[pos] != 0xFF) {
+      uint32_t rec_len = 0;
+      if (!ValidByteRecord(page, page_size, pos, v, /*strict=*/false,
+                           &rec_len, scratch)) {
+        NoteTornRejected();  // torn record: never written
+        break;
+      }
+      uint16_t len = DecodeU16(page + pos + 1);
+      changes.clear();
+      // Decode can only fail under kSkipDeltaRecordValidation (the read
+      // path's deliberate bug); apply whatever decoded before the failure —
+      // exactly the garbage the differential checker must catch.
+      DecodeBytePayload(page + pos + kByteRecordHeader, len, v, &changes,
+                        scratch);
+      for (const ByteChange& c : changes) page[c.offset] = c.value;
+      pos += rec_len;
+      applied++;
+    }
+    return applied;
+  }
   uint32_t applied = 0;
   uint32_t pairs = static_cast<uint32_t>(v.scheme.m) + v.scheme.v;
   for (uint32_t r = 0; r < v.scheme.n; r++) {
@@ -134,7 +306,7 @@ uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
     if (base + v.record_bytes > page_size) break;
     if (page[base] == 0xFF) break;
     if (!ValidRecord(page + base, v)) {  // torn record: never written
-      RejectedTorn().Inc();
+      NoteTornRejected();
       break;
     }
     for (uint32_t p = 0; p < pairs; p++) {
@@ -151,6 +323,18 @@ uint32_t ApplyDeltaRecords(uint8_t* page, uint32_t page_size) {
 uint32_t DeltaBudgetRemaining(const uint8_t* page, uint32_t page_size) {
   AreaView v = ViewOf(page, page_size);
   if (!v.scheme.enabled()) return 0;
+  if (IsByteCodec(v)) {
+    ByteScan scan = ScanByteRecords(page, page_size, v);
+    if (scan.torn) return 0;  // cannot append past torn bytes
+    uint32_t remaining = page_size - scan.end;
+    bool compress = v.scheme.delta_codec() == DeltaCodec::kDeltaCompress;
+    uint32_t header = kByteRecordHeader + (compress ? 1 : 0);
+    if (remaining <= header + 1) return 0;
+    uint32_t usable = remaining - header;
+    // kDelta: worst case 2 bytes per change. kDeltaCompress: optimistic
+    // ~1 byte per change best case; EncodeDeltaRecords does the exact check.
+    return compress ? usable : usable / 2;
+  }
   uint32_t existing = CountDeltaRecords(page, page_size);
   return (v.scheme.n - existing) * v.scheme.m;
 }
@@ -215,6 +399,54 @@ Result<AppendPlan> EncodeDeltaRecords(uint8_t* cur, uint32_t page_size,
   }
   if (diff.Empty()) {
     return AppendPlan{};  // nothing to write
+  }
+  if (IsByteCodec(v)) {
+    ByteScan scan = ScanByteRecords(cur, page_size, v);
+    if (scan.torn) {
+      return Status::OutOfSpace("delta area has a torn tail");
+    }
+    // Merge body and meta changes into one ascending-offset stream (both
+    // vectors come from DiffPages's ascending scan).
+    std::vector<ByteChange> merged;
+    merged.resize(diff.body.size() + diff.meta.size());
+    std::merge(diff.body.begin(), diff.body.end(), diff.meta.begin(),
+               diff.meta.end(), merged.begin(),
+               [](ByteChange a, ByteChange b) { return a.offset < b.offset; });
+    std::vector<uint8_t> payload;
+    payload.reserve(2 * merged.size() + 4);
+    uint32_t next_min = 0;
+    for (const ByteChange& c : merged) {
+      PutVarint(payload, c.offset - next_min);
+      payload.push_back(c.value);
+      next_min = static_cast<uint32_t>(c.offset) + 1;
+    }
+    if (v.scheme.delta_codec() == DeltaCodec::kDeltaCompress) {
+      std::vector<uint8_t> lz = LzCompress(payload.data(), payload.size());
+      std::vector<uint8_t> framed;
+      framed.reserve(1 + std::min(lz.size(), payload.size()));
+      if (lz.size() < payload.size()) {
+        framed.push_back(1);  // method: LZ
+        framed.insert(framed.end(), lz.begin(), lz.end());
+      } else {
+        framed.push_back(0);  // method: stored
+        framed.insert(framed.end(), payload.begin(), payload.end());
+      }
+      payload = std::move(framed);
+    }
+    uint32_t total = kByteRecordHeader + static_cast<uint32_t>(payload.size());
+    if (scan.end + total > page_size) {
+      return Status::OutOfSpace("byte-codec delta area exhausted");
+    }
+    uint8_t* rec = cur + scan.end;
+    rec[0] = kCtrlPresent;
+    EncodeU16(rec + 1, static_cast<uint16_t>(payload.size()));
+    EncodeU16(rec + 3, Crc16(payload.data(), payload.size()));
+    std::memcpy(rec + kByteRecordHeader, payload.data(), payload.size());
+    AppendPlan plan;
+    plan.write_offset = scan.end;
+    plan.write_len = total;
+    plan.records = 1;
+    return plan;
   }
   if (diff.meta.size() > v.scheme.v) {
     return Status::OutOfSpace("metadata changes exceed V");

@@ -46,7 +46,26 @@ constexpr uint32_t kOffM = 25;          // u8
 constexpr uint32_t kOffV = 26;          // u8
 constexpr uint32_t kOffFlags = 27;      // u8
 constexpr uint32_t kOffTableId = 28;    // u32
-// [32,40) reserved.
+constexpr uint32_t kOffCodec = 32;      // u8 (DeltaCodec; 0 on legacy pages)
+// [33,40) reserved.
+
+/// How delta records in a page's delta area are packed. Negotiated per page:
+/// the codec byte lives in the page header (kOffCodec), is written at
+/// Initialize() time and travels with every page image, so mixed-codec delta
+/// areas mount, scrub and replay correctly. Legacy pages carry 0 there
+/// (header bytes [32,40) were zeroed), which decodes as kRaw — the seed
+/// format — keeping old images readable.
+enum class DeltaCodec : uint8_t {
+  kRaw = 0,            ///< Fixed [NxM] slots: ctrl + 3 bytes per pair.
+  kDelta = 1,          ///< Variable records: varint offset-gaps + values.
+  kDeltaCompress = 2,  ///< kDelta payload behind a deterministic LZ pass.
+};
+
+/// Human-readable codec name (used by benches, tools and docs).
+const char* DeltaCodecName(DeltaCodec codec);
+
+/// Parse a codec name ("raw", "delta", "delta+compress"); false on unknown.
+bool ParseDeltaCodec(const char* name, DeltaCodec* out);
 
 /// The [NxM] scheme (Section 6): at most `n` delta-records per page, each
 /// covering at most `m` changed body bytes and `v` changed metadata bytes.
@@ -55,6 +74,13 @@ struct Scheme {
   uint8_t n = 0;
   uint8_t m = 0;
   uint8_t v = 12;
+  /// Delta-area packing (DeltaCodec). The area *reservation* below is
+  /// codec-independent — AreaBytes() stays N * (1 + 3M + 3V) — so a codec
+  /// change never moves delta_off; byte codecs simply pack more appends into
+  /// the same reserved bytes.
+  uint8_t codec = 0;
+
+  DeltaCodec delta_codec() const { return static_cast<DeltaCodec>(codec); }
 
   /// Size of one delta-record: control byte + 3 bytes per (value,offset)
   /// pair for body and metadata parts (Section 6.1: 1 + 3M + 3V).

@@ -24,6 +24,7 @@ void SlottedPage::Initialize(uint64_t page_id, uint32_t table_id,
   data_[kOffV] = scheme.v;
   data_[kOffFlags] = 0;
   EncodeU32(data_ + kOffTableId, table_id);
+  data_[kOffCodec] = scheme.codec;
 }
 
 uint64_t SlottedPage::page_lsn() const { return DecodeU64(data_ + kOffPageLsn); }
@@ -40,6 +41,10 @@ Scheme SlottedPage::scheme() const {
   s.n = data_[kOffN];
   s.m = data_[kOffM];
   s.v = data_[kOffV];
+  // Legacy pages carry 0 here (the header's reserved bytes were zeroed),
+  // which is DeltaCodec::kRaw; out-of-range values degrade to raw too so a
+  // corrupt codec byte can't select an undefined decode path.
+  s.codec = data_[kOffCodec] <= 2 ? data_[kOffCodec] : 0;
   return s;
 }
 

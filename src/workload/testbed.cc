@@ -254,4 +254,11 @@ double BenchScale() {
   return v > 0 ? v : 1.0;
 }
 
+double DatasetScale() {
+  const char* s = std::getenv("IPA_DATASET");
+  if (!s) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
 }  // namespace ipa::workload

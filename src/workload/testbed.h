@@ -135,4 +135,12 @@ Result<std::unique_ptr<ShardedTestbed>> MakeShardedTestbed(
 /// (default 1.0) multiplies workload row counts and transaction counts.
 double BenchScale();
 
+/// Dataset multiplier, independent of IPA_SCALE: the IPA_DATASET environment
+/// variable (default 1.0) multiplies workload *dataset* sizes only, while
+/// the buffer pool stays sized for the unmultiplied dataset — IPA_DATASET=8
+/// makes the heap ~8x the buffer pool, the larger-than-RAM regime where
+/// eviction, scrub and GC run under memory pressure. Composes with
+/// RunConfig::dataset_multiplier in the bench harness.
+double DatasetScale();
+
 }  // namespace ipa::workload

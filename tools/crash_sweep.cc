@@ -6,6 +6,8 @@
 //
 // Knobs: --txns N --accounts N --points N (0 = every op index) --seed N
 //        --backend noftl|pageftl-greedy|pageftl-cb|streamftl (FTL stack under test)
+//        --codec raw|delta|delta+compress (NoFTL delta-record codec; puts
+//          variable-length compressed appends under the injector)
 //        --jobs N (0 = IPA_JOBS / hardware) --json PATH --metrics-json PATH
 // IPA_SCALE scales --txns (CI runs a downscaled sweep with IPA_SCALE=0.05).
 //
@@ -156,6 +158,12 @@ int main(int argc, char** argv) {
       cfg.backend = ipa::workload::Backend::kStreamFtl;
     } else {
       std::fprintf(stderr, "crash_sweep: unknown backend '%s'\n", b);
+      return 2;
+    }
+  }
+  if (const char* c = ArgStr(argc, argv, "--codec")) {
+    if (!ipa::storage::ParseDeltaCodec(c, &cfg.codec)) {
+      std::fprintf(stderr, "crash_sweep: unknown codec '%s'\n", c);
       return 2;
     }
   }
